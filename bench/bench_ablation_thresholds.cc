@@ -1,0 +1,104 @@
+// Design-choice ablation (DESIGN.md / paper §4.1.2 and §4.2): sensitivity
+// of WYM's F1 to the pairing thresholds (theta/eta/epsilon as a family,
+// preserving the paper's increasing ordering) and to the Eq. 2 label
+// thresholds alpha/beta. The paper states both are "experimentally
+// determined" and that increasing theta < eta < epsilon works best; this
+// harness regenerates that evidence on the substitute encoder.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wym;
+  bench::PrintBanner(
+      "Ablation: pairing thresholds (theta/eta/epsilon) and Eq.2 alpha/beta");
+  const double scale = bench::ScaleFromEnv();
+
+  // A spread of dataset difficulties keeps the sweep honest.
+  const std::vector<std::string> ids = {"S-DA", "S-WA", "D-DG"};
+
+  // --- Sweep 1: shift the whole theta/eta/epsilon family. ---
+  const std::vector<double> theta_grid = {0.25, 0.35, 0.45, 0.55, 0.65};
+  {
+    std::vector<std::string> headers = {"Dataset"};
+    for (double theta : theta_grid) {
+      headers.push_back("th=" + strings::FormatDouble(theta, 2));
+    }
+    TablePrinter table(headers);
+    for (const auto& id : ids) {
+      const bench::PreparedData data =
+          bench::Prepare(*data::FindSpec(id), scale);
+      std::vector<std::string> row = {id};
+      for (double theta : theta_grid) {
+        core::WymConfig config;
+        config.generator.theta = theta;
+        config.generator.eta = theta + 0.05;
+        config.generator.epsilon = theta + 0.10;
+        const core::WymModel model = bench::TrainWym(data, config);
+        row.push_back(
+            strings::FormatDouble(bench::TestF1(model, data.split), 3));
+      }
+      table.AddRow(row);
+      std::printf("  [done] thresholds %s\n", id.c_str());
+    }
+    std::printf("\nF1 vs pairing-threshold family (eta=th+0.05, eps=th+0.10):\n");
+    table.Print();
+  }
+
+  // --- Sweep 2: ordering ablation — does theta < eta < epsilon matter? ---
+  {
+    TablePrinter table({"Dataset", "increasing", "flat", "decreasing"});
+    for (const auto& id : ids) {
+      const bench::PreparedData data =
+          bench::Prepare(*data::FindSpec(id), scale);
+      auto run = [&](double theta, double eta, double epsilon) {
+        core::WymConfig config;
+        config.generator.theta = theta;
+        config.generator.eta = eta;
+        config.generator.epsilon = epsilon;
+        const core::WymModel model = bench::TrainWym(data, config);
+        return bench::TestF1(model, data.split);
+      };
+      table.AddRow(id,
+                   {run(0.45, 0.50, 0.55), run(0.50, 0.50, 0.50),
+                    run(0.55, 0.50, 0.45)},
+                   3);
+      std::printf("  [done] ordering %s\n", id.c_str());
+    }
+    std::printf("\nF1 vs threshold ordering (paper: increasing works best):\n");
+    table.Print();
+  }
+
+  // --- Sweep 3: Eq. 2 alpha/beta label thresholds. ---
+  {
+    const std::vector<std::pair<double, double>> ab_grid = {
+        {0.35, 0.25}, {0.45, 0.35}, {0.55, 0.45}, {0.65, 0.55},
+        {0.75, 0.65}};
+    std::vector<std::string> headers = {"Dataset"};
+    for (const auto& [alpha, beta] : ab_grid) {
+      headers.push_back("a=" + strings::FormatDouble(alpha, 2));
+    }
+    TablePrinter table(headers);
+    for (const auto& id : ids) {
+      const bench::PreparedData data =
+          bench::Prepare(*data::FindSpec(id), scale);
+      std::vector<std::string> row = {id};
+      for (const auto& [alpha, beta] : ab_grid) {
+        core::WymConfig config;
+        config.scorer.alpha = alpha;
+        config.scorer.beta = beta;
+        const core::WymModel model = bench::TrainWym(data, config);
+        row.push_back(
+            strings::FormatDouble(bench::TestF1(model, data.split), 3));
+      }
+      table.AddRow(row);
+      std::printf("  [done] alpha/beta %s\n", id.c_str());
+    }
+    std::printf("\nF1 vs Eq.2 thresholds (beta = alpha - 0.10):\n");
+    table.Print();
+  }
+  return 0;
+}

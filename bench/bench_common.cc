@@ -1,0 +1,85 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "ml/metrics.h"
+#include "util/string_util.h"
+
+namespace wym::bench {
+
+double ScaleFromEnv() {
+  const char* raw = std::getenv("WYM_SCALE");
+  if (raw == nullptr) return 1.0;
+  const double scale = std::strtod(raw, nullptr);
+  return std::clamp(scale, 0.05, 10.0);
+}
+
+std::vector<data::DatasetSpec> SelectedSpecs() {
+  const char* raw = std::getenv("WYM_DATASETS");
+  const auto& all = data::BenchmarkSpecs();
+  if (raw == nullptr || *raw == '\0') return all;
+  std::vector<data::DatasetSpec> selected;
+  for (const auto& id : strings::Split(raw, ',')) {
+    const data::DatasetSpec* spec = data::FindSpec(strings::Trim(id));
+    if (spec != nullptr) selected.push_back(*spec);
+  }
+  return selected.empty() ? all : selected;
+}
+
+PreparedData Prepare(const data::DatasetSpec& spec, double scale,
+                     uint64_t seed) {
+  PreparedData out;
+  out.dataset = data::GenerateDataset(spec, seed, scale);
+  out.split = data::DefaultSplit(out.dataset, seed);
+  return out;
+}
+
+core::WymModel TrainWym(const PreparedData& data,
+                        const core::WymConfig& config) {
+  core::WymModel model(config);
+  model.Fit(data.split.train, data.split.validation);
+  return model;
+}
+
+double TestF1(const core::Matcher& matcher, const data::Split& split) {
+  return ml::F1Score(split.test.Labels(),
+                     matcher.PredictDataset(split.test));
+}
+
+data::Dataset Head(const data::Dataset& dataset, size_t limit) {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < std::min(limit, dataset.size()); ++i) {
+    indices.push_back(i);
+  }
+  return data::Subset(dataset, indices, "/head");
+}
+
+data::Dataset BalancedSample(const data::Dataset& dataset,
+                             size_t per_class) {
+  std::vector<size_t> indices;
+  size_t matches = 0, non_matches = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.records[i].label == 1 && matches < per_class) {
+      indices.push_back(i);
+      ++matches;
+    } else if (dataset.records[i].label == 0 && non_matches < per_class) {
+      indices.push_back(i);
+      ++non_matches;
+    }
+  }
+  return data::Subset(dataset, indices, "/balanced");
+}
+
+void PrintBanner(const std::string& what) {
+  std::printf(
+      "== %s ==\n"
+      "(WYM reproduction on the synthetic Magellan benchmark; scale=%.2f,"
+      " seed=%llu. Shapes, not absolute values, are the comparison"
+      " target -- see EXPERIMENTS.md.)\n\n",
+      what.c_str(), ScaleFromEnv(),
+      static_cast<unsigned long long>(kSeed));
+}
+
+}  // namespace wym::bench

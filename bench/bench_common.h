@@ -1,0 +1,55 @@
+#ifndef WYM_BENCH_BENCH_COMMON_H_
+#define WYM_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/wym.h"
+#include "data/benchmark_gen.h"
+#include "data/split.h"
+
+/// \file
+/// Shared plumbing for the table/figure harnesses. Environment knobs:
+///   WYM_SCALE    — multiplies every dataset's default size (default 1).
+///   WYM_DATASETS — comma-separated ids to restrict a run, e.g.
+///                  "S-DA,S-FZ" (default: all 12).
+
+namespace wym::bench {
+
+/// Fixed seed of the reproduction runs.
+inline constexpr uint64_t kSeed = 42;
+
+/// WYM_SCALE (default 1.0, clamped to [0.05, 10]).
+double ScaleFromEnv();
+
+/// The benchmark specs selected by WYM_DATASETS (all when unset).
+std::vector<data::DatasetSpec> SelectedSpecs();
+
+/// Generates a dataset and its 60-20-20 split.
+struct PreparedData {
+  data::Dataset dataset;
+  data::Split split;
+};
+PreparedData Prepare(const data::DatasetSpec& spec, double scale,
+                     uint64_t seed = kSeed);
+
+/// Trains a WymModel with `config` on the prepared split.
+core::WymModel TrainWym(const PreparedData& data,
+                        const core::WymConfig& config = {});
+
+/// Test-set F1 of any matcher.
+double TestF1(const core::Matcher& matcher, const data::Split& split);
+
+/// Takes the first `limit` records of a dataset (or all).
+data::Dataset Head(const data::Dataset& dataset, size_t limit);
+
+/// Balanced sample: up to `per_class` matches and `per_class` non-matches.
+data::Dataset BalancedSample(const data::Dataset& dataset, size_t per_class);
+
+/// Prints the standard harness banner (paper reference + scale note).
+void PrintBanner(const std::string& what);
+
+}  // namespace wym::bench
+
+#endif  // WYM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Regenerates Figure 5: learning curves — WYM's test F1 as the training
+// set grows. The paper uses 500 / 1K / 2K / full with the pre-trained
+// encoder and excludes the four small datasets (S-BR, S-IA, S-FZ, D-IA);
+// our scaled datasets sweep proportional sizes. Expected shape: flat
+// curves except on the hard datasets (S-AG, S-WA, T-AB), which improve
+// with more data.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ml/metrics.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wym;
+  bench::PrintBanner("Figure 5: learning curves (pre-trained encoder)");
+  const double scale = bench::ScaleFromEnv();
+
+  const std::vector<size_t> sizes = {100, 250, 500, 0};  // 0 = full.
+  std::vector<std::string> headers = {"Dataset"};
+  for (size_t size : sizes) {
+    headers.push_back(size == 0 ? "full" : std::to_string(size));
+  }
+  TablePrinter table(headers);
+
+  for (const auto& spec : bench::SelectedSpecs()) {
+    // The paper skips datasets whose training split is too small for the
+    // sweep to be meaningful.
+    if (spec.id == "S-BR" || spec.id == "S-IA" || spec.id == "S-FZ" ||
+        spec.id == "D-IA") {
+      continue;
+    }
+    const bench::PreparedData data = bench::Prepare(spec, scale);
+
+    std::vector<std::string> row = {spec.id};
+    for (size_t size : sizes) {
+      data::Dataset train = data.split.train;
+      if (size != 0 && size < train.size()) {
+        train = bench::Head(train, size);
+      }
+      core::WymConfig config;
+      config.encoder.mode = embedding::EncoderMode::kPretrained;
+      core::WymModel model(config);
+      model.Fit(train, data.split.validation);
+      const double f1 = ml::F1Score(data.split.test.Labels(),
+                                    model.PredictDataset(data.split.test));
+      row.push_back(strings::FormatDouble(f1, 3));
+    }
+    table.AddRow(row);
+    std::printf("  [done] %s\n", spec.id.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

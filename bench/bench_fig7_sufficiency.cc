@@ -1,0 +1,85 @@
+// Regenerates Figure 7: sufficiency via post-hoc accuracy (Eq. 4) for
+// the top v = 1..5 explanation elements, comparing four settings:
+//   WYM (intrinsic impacts), WYM + LIME, DITTO + LIME, and
+//   DITTO + Landmark at single-token granularity (the LEMON row).
+// Expected shape: WYM-as-explainer dominates the post-hoc explainers.
+//
+// Post-hoc explainers re-query the model per perturbation, so this bench
+// evaluates a record sample per dataset (WYM_SCALE shrinks further).
+
+#include <cstdio>
+
+#include "baselines/ditto.h"
+#include "bench_common.h"
+#include "explain/evaluation.h"
+#include "explain/lime.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wym;
+  bench::PrintBanner("Figure 7: sufficiency (post-hoc accuracy, Eq. 4)");
+  const double scale = bench::ScaleFromEnv();
+  constexpr size_t kSampleRecords = 30;
+  constexpr size_t kMaxV = 5;
+
+  explain::LimeOptions lime_options;
+  lime_options.num_samples = 50;
+  const explain::LimeExplainer lime(lime_options);
+  explain::LandmarkOptions landmark_options;
+  landmark_options.num_samples = 50;
+  const explain::LandmarkExplainer landmark(landmark_options);
+
+  std::vector<std::string> headers = {"Dataset", "Explainer"};
+  for (size_t v = 1; v <= kMaxV; ++v) {
+    headers.push_back("v=" + std::to_string(v));
+  }
+  TablePrinter table(headers);
+
+  for (const auto& spec : bench::SelectedSpecs()) {
+    const bench::PreparedData data = bench::Prepare(spec, scale);
+    const data::Dataset sample =
+        bench::BalancedSample(data.split.test, kSampleRecords / 2);
+
+    const core::WymModel wym_model = bench::TrainWym(data);
+    baselines::DittoMatcher ditto;
+    ditto.Fit(data.split.train, data.split.validation);
+
+    auto add_row = [&](const char* name,
+                       const std::function<double(size_t)>& accuracy_at) {
+      std::vector<std::string> row = {spec.id, name};
+      for (size_t v = 1; v <= kMaxV; ++v) {
+        row.push_back(strings::FormatDouble(accuracy_at(v), 3));
+      }
+      table.AddRow(row);
+    };
+
+    add_row("WYM", [&](size_t v) {
+      return explain::PostHocAccuracyWym(wym_model, sample, v);
+    });
+    add_row("WYM+LIME", [&](size_t v) {
+      return explain::PostHocAccuracyTokens(
+          wym_model, sample,
+          [&](const data::EmRecord& r) { return lime.Explain(wym_model, r); },
+          v);
+    });
+    add_row("DITTO+LIME", [&](size_t v) {
+      return explain::PostHocAccuracyTokens(
+          ditto, sample,
+          [&](const data::EmRecord& r) { return lime.Explain(ditto, r); },
+          v);
+    });
+    add_row("DITTO+LEMON(tok)", [&](size_t v) {
+      return explain::PostHocAccuracyTokens(
+          ditto, sample,
+          [&](const data::EmRecord& r) {
+            return landmark.Explain(ditto, r);
+          },
+          v);
+    });
+    std::printf("  [done] %s\n", spec.id.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

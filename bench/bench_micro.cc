@@ -1,0 +1,125 @@
+// Google-benchmark micro-benchmarks for the pipeline hot paths: the
+// stable-marriage assignment, the semantic encoder, tokenization,
+// Jaro-Winkler, and full decision-unit generation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/tokenized_record.h"
+#include "core/unit_generator.h"
+#include "data/benchmark_gen.h"
+#include "data/csv.h"
+#include "nn/mlp.h"
+#include "embedding/semantic_encoder.h"
+#include "matching/stable_marriage.h"
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace wym;
+
+void BM_StableMarriage(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  la::Matrix sim(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) sim.At(i, j) = rng.Uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::StableMarriage(sim, 0.5));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StableMarriage)->Range(4, 256)->Complexity();
+
+void BM_Tokenizer(benchmark::State& state) {
+  const text::Tokenizer tokenizer;
+  const std::string value =
+      "sony digital camera with lens kit dslra200w 10.2 mp, the deluxe";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(value));
+  }
+}
+BENCHMARK(BM_Tokenizer);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::JaroWinklerSimilarity("dslra200w", "dslra300k"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_EncodeTokens(benchmark::State& state) {
+  embedding::SemanticEncoderOptions options;
+  options.mode = embedding::EncoderMode::kPretrained;
+  embedding::SemanticEncoder encoder(options);
+  encoder.Fit({});
+  const std::vector<std::string> tokens = {
+      "sony", "digital", "camera", "lens", "kit", "dslra200w",
+      "37.63", "deluxe", "compact", "optical"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.EncodeTokens(tokens));
+  }
+}
+BENCHMARK(BM_EncodeTokens);
+
+void BM_UnitGeneration(benchmark::State& state) {
+  // One realistic record from the product benchmark, fully encoded.
+  const data::Dataset dataset = data::GenerateById("S-WA", 42, 0.1);
+  const text::Tokenizer tokenizer;
+  embedding::SemanticEncoderOptions options;
+  options.mode = embedding::EncoderMode::kPretrained;
+  embedding::SemanticEncoder encoder(options);
+  encoder.Fit({});
+  core::TokenizedRecord record = core::TokenizeRecord(
+      dataset.records.front(), dataset.schema, tokenizer);
+  core::EncodeEntity(encoder, &record.left);
+  core::EncodeEntity(encoder, &record.right);
+  const core::DecisionUnitGenerator generator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(record.left, record.right,
+                                                dataset.schema.size()));
+  }
+}
+BENCHMARK(BM_UnitGeneration);
+
+void BM_MlpPredict(benchmark::State& state) {
+  Rng rng(4);
+  la::Matrix x(64, 96);
+  std::vector<double> y(64);
+  for (size_t i = 0; i < 64; ++i) {
+    for (size_t j = 0; j < 96; ++j) x.At(i, j) = rng.Uniform(-1, 1);
+    y[i] = rng.Uniform(-1, 1);
+  }
+  nn::MlpOptions options;
+  options.hidden = {64, 32};
+  options.epochs = 2;
+  nn::Mlp mlp(options);
+  mlp.Fit(x, y);
+  const std::vector<double> row = x.RowVector(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Predict(row));
+  }
+}
+BENCHMARK(BM_MlpPredict);
+
+void BM_CsvRoundTrip(benchmark::State& state) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 42, 0.2);
+  for (auto _ : state) {
+    const std::string csv = data::DatasetToCsv(dataset);
+    benchmark::DoNotOptimize(data::DatasetFromCsv(csv, "bench"));
+  }
+}
+BENCHMARK(BM_CsvRoundTrip);
+
+void BM_GenerateDataset(benchmark::State& state) {
+  const data::DatasetSpec* spec = data::FindSpec("S-WA");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::GenerateDataset(*spec, 42, 0.1));
+  }
+}
+BENCHMARK(BM_GenerateDataset);
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Regenerates §5.4: the user study — SIMULATED. The paper administered a
+// questionnaire to 15 human raters comparing decision-unit explanations
+// (WYM) against token-level explanations (DITTO+LIME) on three record
+// pairs (a match, a non-match, and an identical-copy pair), reporting a
+// preference for decision units and Fleiss' kappa = 0.787.
+//
+// Humans are not available to a benchmark binary, so this harness
+// reproduces the *measurement machinery* with programmatic raters: each
+// rater scores both explanation styles on conciseness (fewer elements
+// carrying the impact) and locality (evidence named as pairs), with
+// seeded per-rater noise; preferences are aggregated and Fleiss' kappa
+// computed exactly as in the paper. See EXPERIMENTS.md for the
+// simulation caveat.
+
+#include <cstdio>
+
+#include "baselines/ditto.h"
+#include "bench_common.h"
+#include "explain/evaluation.h"
+#include "explain/lime.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace wym;
+
+/// Conciseness proxy: share of total |weight| carried by the top-3
+/// explanation elements (higher = easier to read).
+double TokenConciseness(const explain::TokenLevelExplanation& e) {
+  double total = 0.0;
+  for (const auto& tw : e.weights) total += std::fabs(tw.weight);
+  if (total <= 0.0) return 1.0;
+  double top = 0.0;
+  size_t taken = 0;
+  for (size_t index : e.RankByMagnitude()) {
+    top += std::fabs(e.weights[index].weight);
+    if (++taken == 3) break;
+  }
+  return top / total;
+}
+
+double UnitConciseness(const core::Explanation& e) {
+  return explain::CumulativeImpactShare(e, e.units.empty()
+                                               ? 1.0
+                                               : 3.0 / e.units.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Section 5.4: user study (SIMULATED raters; see EXPERIMENTS.md)");
+  constexpr size_t kRaters = 15;
+
+  // One mid-sized dataset; the paper's three stimulus pairs: a matching
+  // record, a non-matching record, and an identical-copy record.
+  const data::DatasetSpec* spec = data::FindSpec("S-WA");
+  const bench::PreparedData data =
+      bench::Prepare(*spec, bench::ScaleFromEnv());
+  const core::WymModel model = bench::TrainWym(data);
+  baselines::DittoMatcher ditto;
+  ditto.Fit(data.split.train, data.split.validation);
+  explain::LimeOptions lime_options;
+  lime_options.num_samples = 60;
+  const explain::LimeExplainer lime(lime_options);
+
+  std::vector<data::EmRecord> stimuli;
+  for (const auto& record : data.split.test.records) {
+    if (record.label == 1) {
+      stimuli.push_back(record);
+      break;
+    }
+  }
+  for (const auto& record : data.split.test.records) {
+    if (record.label == 0) {
+      stimuli.push_back(record);
+      break;
+    }
+  }
+  {
+    data::EmRecord copied = stimuli[0];
+    copied.right = copied.left;  // Identical descriptions.
+    copied.label = 1;
+    stimuli.push_back(copied);
+  }
+  const char* stimulus_names[] = {"matching pair", "non-matching pair",
+                                  "identical copy"};
+
+  // ratings[subject][category]: 0 = prefers decision units, 1 = prefers
+  // token-level explanation.
+  std::vector<std::vector<int>> ratings(stimuli.size(),
+                                        std::vector<int>(2, 0));
+  TablePrinter table({"Stimulus", "unit conc.", "token conc.",
+                      "prefer units", "prefer tokens"});
+
+  Rng rng(bench::kSeed);
+  for (size_t s = 0; s < stimuli.size(); ++s) {
+    const core::Explanation unit_explanation = model.Explain(stimuli[s]);
+    const explain::TokenLevelExplanation token_explanation =
+        lime.Explain(ditto, stimuli[s]);
+    const double unit_quality = UnitConciseness(unit_explanation);
+    const double token_quality = TokenConciseness(token_explanation);
+    const bool identical = stimuli[s].left.values == stimuli[s].right.values;
+
+    for (size_t rater = 0; rater < kRaters; ++rater) {
+      const double noise = rng.Normal(0.0, 0.05);
+      // Rater model (documented simulation, see EXPERIMENTS.md): unit
+      // explanations get a locality bonus — they name the evidence as
+      // *pairs* instead of splitting it across two token lists. On an
+      // identical-copy pair both styles are trivially readable, and the
+      // paper reports raters were satisfied with the feature-based
+      // explanation there; the bonus vanishes and simplicity wins.
+      const double margin =
+          identical ? noise - 0.05
+                    : (unit_quality + 0.15) - token_quality + noise;
+      const int prefers_tokens = margin < 0.0 ? 1 : 0;
+      ++ratings[s][prefers_tokens];
+    }
+    table.AddRow({stimulus_names[s], strings::FormatDouble(unit_quality, 3),
+                  strings::FormatDouble(token_quality, 3),
+                  std::to_string(ratings[s][0]),
+                  std::to_string(ratings[s][1])});
+  }
+  table.Print();
+
+  const double kappa = stats::FleissKappa(ratings);
+  std::printf("\nFleiss' kappa over the simulated panel: %.3f\n", kappa);
+  std::printf("(Paper, with 15 human raters: 0.787 — good agreement,\n"
+              "preference for decision-unit explanations except on the\n"
+              "identical-copy stimulus.)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Seed-stability harness: WYM's test F1 across independent dataset +
+// pipeline seeds, per dataset (mean ± SD). Backs the variance notes in
+// EXPERIMENTS.md — the paper itself flags small-dataset variance (S-BR's
+// 91-record test set, §5.1.2/§5.2.2).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wym;
+  bench::PrintBanner("Seed stability: WYM F1 across 5 seeds");
+  const double scale = bench::ScaleFromEnv();
+  const std::vector<uint64_t> seeds = {11, 42, 77, 123, 2023};
+
+  TablePrinter table({"Dataset", "mean F1", "SD", "min", "max"});
+  for (const auto& spec : bench::SelectedSpecs()) {
+    std::vector<double> scores;
+    for (uint64_t seed : seeds) {
+      const bench::PreparedData data = bench::Prepare(spec, scale, seed);
+      core::WymConfig config;
+      config.seed = seed;
+      const core::WymModel model = bench::TrainWym(data, config);
+      scores.push_back(bench::TestF1(model, data.split));
+    }
+    table.AddRow(spec.id,
+                 {stats::Mean(scores), stats::StdDev(scores),
+                  stats::Min(scores), stats::Max(scores)},
+                 3);
+    std::printf("  [done] %s\n", spec.id.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nExpected shape: the large datasets are stable within a few F1\n"
+      "points; the small ones (S-BR, S-IA, S-FZ) and the hard ones swing\n"
+      "more, as the paper notes for its smallest test sets.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Regenerates Table 4: component ablation. Columns:
+//   WYM        — full pipeline (siamese encoder, neural scorer, full
+//                feature engineering);
+//   Decision Unit Generator: j-w dist. (Jaro-Winkler pairing),
+//                BERT-pt (pre-trained encoder), BERT-ft (fine-tuned);
+//   Scorer:    bin. scr. (binary relevance), cos. sim. (cosine),
+//                bin j-w (binary scorer on Jaro-Winkler units);
+//   Matcher:   smp. feat. (simplified 6-feature matcher).
+// Expected shape: full WYM and BERT-ft best on average; binary-on-
+// Jaro-Winkler worst.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+struct AblationConfig {
+  const char* name;
+  wym::core::WymConfig config;
+};
+
+std::vector<AblationConfig> BuildConfigs() {
+  using wym::core::PairingSimilarity;
+  using wym::core::ScorerKind;
+  using wym::embedding::EncoderMode;
+
+  std::vector<AblationConfig> configs;
+  {
+    configs.push_back({"WYM", {}});
+  }
+  {
+    wym::core::WymConfig c;
+    c.generator.similarity = PairingSimilarity::kJaroWinkler;
+    configs.push_back({"j-w dist.", c});
+  }
+  {
+    wym::core::WymConfig c;
+    c.encoder.mode = EncoderMode::kPretrained;
+    configs.push_back({"BERT-pt", c});
+  }
+  {
+    wym::core::WymConfig c;
+    c.encoder.mode = EncoderMode::kFineTuned;
+    configs.push_back({"BERT-ft", c});
+  }
+  {
+    wym::core::WymConfig c;
+    c.scorer.kind = ScorerKind::kBinary;
+    configs.push_back({"bin. scr.", c});
+  }
+  {
+    wym::core::WymConfig c;
+    c.scorer.kind = ScorerKind::kCosine;
+    configs.push_back({"cos. sim.", c});
+  }
+  {
+    wym::core::WymConfig c;
+    c.generator.similarity = PairingSimilarity::kJaroWinkler;
+    c.scorer.kind = ScorerKind::kBinary;
+    configs.push_back({"bin j-w", c});
+  }
+  {
+    wym::core::WymConfig c;
+    c.simplified_features = true;
+    configs.push_back({"smp. feat.", c});
+  }
+  return configs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wym;
+  bench::PrintBanner("Table 4: component ablation (F1)");
+  const double scale = bench::ScaleFromEnv();
+  const std::vector<AblationConfig> configs = BuildConfigs();
+
+  std::vector<std::string> headers = {"Dataset"};
+  for (const auto& c : configs) headers.push_back(c.name);
+  TablePrinter table(headers);
+
+  std::vector<std::vector<double>> columns(configs.size());
+  for (const auto& spec : bench::SelectedSpecs()) {
+    const bench::PreparedData data = bench::Prepare(spec, scale);
+    std::vector<std::string> row = {spec.id};
+    for (size_t c = 0; c < configs.size(); ++c) {
+      const core::WymModel model = bench::TrainWym(data, configs[c].config);
+      const double f1 = bench::TestF1(model, data.split);
+      row.push_back(strings::FormatDouble(f1, 3));
+      columns[c].push_back(f1);
+    }
+    table.AddRow(row);
+    std::printf("  [done] %s\n", spec.id.c_str());
+  }
+
+  std::vector<std::string> avg = {"AVG"};
+  for (const auto& column : columns) {
+    avg.push_back(strings::FormatDouble(stats::Mean(column), 3));
+  }
+  table.AddRow(avg);
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces the paper's running example end to end: the two records of
+// Table 1 (a matching pair of Microsoft Exchange Server listings and a
+// non-matching pair of cameras), explained Figure-3 style with relevance
+// and impact bars.
+//
+// Run: ./build/examples/paper_table1
+
+#include <cstdio>
+
+#include "core/wym.h"
+#include "data/benchmark_gen.h"
+#include "data/split.h"
+#include "explain/report.h"
+
+namespace {
+
+wym::data::EmRecord MakeRecord(std::vector<std::string> left,
+                               std::vector<std::string> right, int label) {
+  wym::data::EmRecord record;
+  record.left.values = std::move(left);
+  record.right.values = std::move(right);
+  record.label = label;
+  return record;
+}
+
+}  // namespace
+
+int main() {
+  // Two in-domain models over the same {name, manufacturer, price}
+  // schema: the software benchmark covers Table 1's Exchange Server row
+  // ("exch" is the abbreviation of "exchange" in the corruption model
+  // too), the electronics benchmark covers the camera row.
+  auto train_on = [](const char* id) {
+    const wym::data::Dataset dataset =
+        wym::data::GenerateById(id, /*seed=*/42, /*scale=*/1.0);
+    const wym::data::Split split = wym::data::DefaultSplit(dataset, 42);
+    wym::core::WymModel model;
+    model.Fit(split.train, split.validation);
+    std::printf("trained on %s (%zu records); classifier %s\n",
+                dataset.name.c_str(), dataset.size(),
+                model.matcher().best_name().c_str());
+    return model;
+  };
+  const wym::core::WymModel software_model = train_on("S-AG");
+  const wym::core::WymModel product_model = train_on("S-WA");
+  std::printf("\n");
+
+  // Paper Table 1, row 1 — matching entities (cf. Figure 3a/3c).
+  const wym::data::EmRecord matching = MakeRecord(
+      {"exch srvr external sa eng 39400416", "microsoft licenses",
+       "42166.22"},
+      {"39400416 exch svr external l sa", "microsoft licenses", "22575.14"},
+      1);
+  // Paper Table 1, row 2 — non-matching entities (cf. Figure 3b/3d).
+  const wym::data::EmRecord non_matching = MakeRecord(
+      {"digital camera with lens kit dslra200w", "sony", "37.63"},
+      {"digital camera leather case 5811", "nikon", "36.11"}, 0);
+
+  wym::explain::ReportOptions report;
+  report.bar_width = 32;
+
+  std::printf("--- Table 1 row 1: matching descriptions (Figure 3c) ---\n");
+  std::printf("%s\n",
+              wym::explain::RenderExplanation(
+                  software_model.Explain(matching), report)
+                  .c_str());
+
+  std::printf("--- Table 1 row 2: non-matching descriptions (Figure 3d) ---\n");
+  std::printf("%s\n",
+              wym::explain::RenderExplanation(
+                  product_model.Explain(non_matching), report)
+                  .c_str());
+
+  std::printf(
+      "Paper reading (section 4.3.1): the product-code pair (39400416,\n"
+      "39400416) should carry the largest match impact in row 1; in row 2\n"
+      "the unpaired code/feature tokens (dslra200w), (5811), (lens), ...\n"
+      "jointly push toward non-match with similar magnitudes.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Product-catalog deduplication with domain knowledge: reproduces the
+// paper's §5.1.1 error analysis — WYM mispairs different product codes
+// into one decision unit; adding the "equal product codes only" rule
+// recovers F1 (the paper reports T-AB going from 0.645 to 0.754).
+//
+// Run: ./build/examples/product_catalog
+
+#include <cstdio>
+
+#include "core/unit_generator.h"
+#include "core/wym.h"
+#include "data/benchmark_gen.h"
+#include "data/split.h"
+#include "ml/metrics.h"
+
+namespace {
+
+double TrainAndScore(const wym::core::WymConfig& config,
+                     const wym::data::Split& split) {
+  wym::core::WymModel model(config);
+  model.Fit(split.train, split.validation);
+  return wym::ml::F1Score(split.test.Labels(),
+                          model.PredictDataset(split.test));
+}
+
+}  // namespace
+
+int main() {
+  // The textual Abt-Buy-style dataset: long descriptions, periphrasis,
+  // and near-identical products that differ only in their model code.
+  const wym::data::Dataset dataset =
+      wym::data::GenerateById("T-AB", /*seed=*/7, /*scale=*/0.6);
+  const wym::data::Split split = wym::data::DefaultSplit(dataset, 7);
+  std::printf("dataset %s: %zu records (%.1f%% match)\n",
+              dataset.name.c_str(), dataset.size(), dataset.MatchPercent());
+
+  // Baseline WYM.
+  wym::core::WymConfig config;
+  const double base_f1 = TrainAndScore(config, split);
+  std::printf("WYM without domain rules:   F1 = %.3f\n", base_f1);
+
+  // WYM + the product-code rule: alphanumeric codes only pair if equal.
+  config.generator.rules.push_back(wym::core::EqualProductCodeRule());
+  const double ruled_f1 = TrainAndScore(config, split);
+  std::printf("WYM with product-code rule: F1 = %.3f\n", ruled_f1);
+
+  std::printf(
+      "\nThe rule vetoes spurious (code_a, code_b) pairings, turning them\n"
+      "into unpaired units that correctly push toward non-match\n"
+      "(paper Section 5.1.1: F1 0.645 -> 0.754 on Abt-Buy).\n");
+  return 0;
+}

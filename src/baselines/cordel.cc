@@ -1,0 +1,108 @@
+#include "baselines/cordel.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+#include "ml/metrics.h"
+#include "util/logging.h"
+
+namespace wym::baselines {
+
+namespace {
+
+std::vector<std::string> Tokens(const std::string& value) {
+  static const text::Tokenizer tokenizer{};
+  return tokenizer.Tokenize(value);
+}
+
+}  // namespace
+
+CordelMatcher::CordelMatcher(Options options)
+    : options_([&] {
+        options.gbm.seed = options.seed;
+        return options;
+      }()),
+      gbm_(options_.gbm) {}
+
+std::vector<double> CordelMatcher::ContrastFeatures(
+    const data::EmRecord& record) {
+  std::vector<double> features;
+  double total_shared = 0.0, total_unique = 0.0;
+  for (size_t a = 0; a < record.left.values.size(); ++a) {
+    const auto lt = Tokens(record.left.values[a]);
+    const auto rt = Tokens(record.right.values[a]);
+    const std::set<std::string> ls(lt.begin(), lt.end());
+    const std::set<std::string> rs(rt.begin(), rt.end());
+
+    // Similarity evidence: shared terms.
+    std::vector<std::string> shared;
+    for (const auto& t : ls) {
+      if (rs.count(t)) shared.push_back(t);
+    }
+    // Dissimilarity evidence: unique terms.
+    std::vector<std::string> unique_left, unique_right;
+    for (const auto& t : ls) {
+      if (!rs.count(t)) unique_left.push_back(t);
+    }
+    for (const auto& t : rs) {
+      if (!ls.count(t)) unique_right.push_back(t);
+    }
+
+    // Best fuzzy alignment among the unique terms: distinguishes benign
+    // variation ("externl" vs "external") from true dissimilarity.
+    double fuzzy = 0.0;
+    for (const auto& l : unique_left) {
+      for (const auto& r : unique_right) {
+        fuzzy = std::max(fuzzy, text::JaroWinklerSimilarity(l, r));
+      }
+    }
+
+    const double denom =
+        std::max<size_t>(1, std::max(ls.size(), rs.size()));
+    features.push_back(static_cast<double>(shared.size()));
+    features.push_back(static_cast<double>(shared.size()) / denom);
+    features.push_back(static_cast<double>(unique_left.size()));
+    features.push_back(static_cast<double>(unique_right.size()));
+    features.push_back(fuzzy);
+    total_shared += static_cast<double>(shared.size());
+    total_unique += static_cast<double>(unique_left.size() +
+                                        unique_right.size());
+  }
+  features.push_back(total_shared);
+  features.push_back(total_unique);
+  features.push_back(total_shared / std::max(1.0, total_shared + total_unique));
+  return features;
+}
+
+void CordelMatcher::Fit(const data::Dataset& train,
+                        const data::Dataset& validation) {
+  WYM_CHECK_GT(train.size(), 0u);
+  const size_t dim = ContrastFeatures(train.records[0]).size();
+  la::Matrix x(train.size(), dim);
+  for (size_t i = 0; i < train.size(); ++i) {
+    const auto row = ContrastFeatures(train.records[i]);
+    for (size_t j = 0; j < dim; ++j) x.At(i, j) = row[j];
+  }
+  gbm_ = ml::GradientBoostingClassifier(options_.gbm);
+  gbm_.Fit(x, train.Labels());
+  fitted_ = true;
+
+  const data::Dataset& calibration =
+      validation.size() > 0 ? validation : train;
+  std::vector<double> probas;
+  probas.reserve(calibration.size());
+  for (const auto& record : calibration.records) {
+    probas.push_back(gbm_.PredictProba(ContrastFeatures(record)));
+  }
+  threshold_ = ml::BestF1Threshold(probas, calibration.Labels());
+}
+
+double CordelMatcher::PredictProba(const data::EmRecord& record) const {
+  WYM_CHECK(fitted_) << "CorDEL used before Fit";
+  return ml::RecalibrateProba(gbm_.PredictProba(ContrastFeatures(record)),
+                              threshold_);
+}
+
+}  // namespace wym::baselines

@@ -1,0 +1,108 @@
+#include "baselines/similarity_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace wym::baselines {
+
+namespace {
+
+std::set<std::string> TokenSet(const std::string& value) {
+  static const text::Tokenizer tokenizer{};
+  const auto tokens = tokenizer.Tokenize(value);
+  return {tokens.begin(), tokens.end()};
+}
+
+double Jaccard(const std::set<std::string>& a,
+               const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t shared = 0;
+  for (const auto& t : a) shared += b.count(t);
+  const size_t unioned = a.size() + b.size() - shared;
+  return unioned == 0 ? 1.0
+                      : static_cast<double>(shared) /
+                            static_cast<double>(unioned);
+}
+
+bool ParseNumeric(const std::string& value, double* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::vector<double> AttributePairFeatures(const std::string& left,
+                                          const std::string& right) {
+  std::vector<double> f;
+  f.reserve(kPerAttributeFeatures);
+
+  f.push_back(text::JaroWinklerSimilarity(left, right));
+
+  const std::set<std::string> lt = TokenSet(left);
+  const std::set<std::string> rt = TokenSet(right);
+  f.push_back(Jaccard(lt, rt));
+  f.push_back(text::NgramJaccard(left, right, 3));
+
+  // Containment: fraction of the smaller token set inside the larger.
+  size_t shared = 0;
+  for (const auto& t : lt) shared += rt.count(t);
+  const size_t smaller = std::max<size_t>(1, std::min(lt.size(), rt.size()));
+  f.push_back(static_cast<double>(shared) / static_cast<double>(smaller));
+
+  const double max_len =
+      std::max<size_t>(1, std::max(left.size(), right.size()));
+  f.push_back(1.0 - std::fabs(static_cast<double>(left.size()) -
+                              static_cast<double>(right.size())) /
+                        max_len);
+
+  double ln = 0.0, rn = 0.0;
+  if (ParseNumeric(left, &ln) && ParseNumeric(right, &rn)) {
+    const double denom = std::max({std::fabs(ln), std::fabs(rn), 1e-9});
+    f.push_back(1.0 - std::min(1.0, std::fabs(ln - rn) / denom));
+  } else {
+    f.push_back(0.0);
+  }
+
+  f.push_back((!left.empty() && !right.empty()) ? 1.0 : 0.0);
+  WYM_CHECK_EQ(f.size(), kPerAttributeFeatures);
+  return f;
+}
+
+std::vector<double> RecordSimilarityFeatures(const data::EmRecord& record) {
+  WYM_CHECK_EQ(record.left.values.size(), record.right.values.size());
+  std::vector<double> features;
+  features.reserve(RecordFeatureDim(record.left.values.size()));
+  std::set<std::string> all_left, all_right;
+  for (size_t a = 0; a < record.left.values.size(); ++a) {
+    const auto f =
+        AttributePairFeatures(record.left.values[a], record.right.values[a]);
+    features.insert(features.end(), f.begin(), f.end());
+    for (const auto& t : TokenSet(record.left.values[a])) all_left.insert(t);
+    for (const auto& t : TokenSet(record.right.values[a])) {
+      all_right.insert(t);
+    }
+  }
+  size_t shared = 0;
+  for (const auto& t : all_left) shared += all_right.count(t);
+  const size_t unioned = all_left.size() + all_right.size() - shared;
+  features.push_back(unioned == 0 ? 1.0
+                                  : static_cast<double>(shared) /
+                                        static_cast<double>(unioned));
+  features.push_back(static_cast<double>(shared));
+  features.push_back(static_cast<double>(all_left.size() - shared));
+  features.push_back(static_cast<double>(all_right.size() - shared));
+  return features;
+}
+
+size_t RecordFeatureDim(size_t num_attributes) {
+  return num_attributes * kPerAttributeFeatures + 4;
+}
+
+}  // namespace wym::baselines

@@ -1,0 +1,36 @@
+#ifndef WYM_BASELINES_SIMILARITY_FEATURES_H_
+#define WYM_BASELINES_SIMILARITY_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+
+/// \file
+/// Shared attribute-similarity featurization for the baseline matchers.
+/// DeepMatcher-style systems summarize each attribute pair with a vector
+/// of similarity signals; our stand-ins reuse the same signals with
+/// models of increasing capacity (see DESIGN.md substitution table).
+
+namespace wym::baselines {
+
+/// Number of signals produced per attribute pair.
+inline constexpr size_t kPerAttributeFeatures = 7;
+
+/// Similarity signals for one attribute value pair:
+/// Jaro-Winkler, token Jaccard, trigram Jaccard, token containment,
+/// relative length difference, numeric relative difference (0 when not
+/// numeric), and a both-present indicator.
+std::vector<double> AttributePairFeatures(const std::string& left,
+                                          const std::string& right);
+
+/// Concatenated per-attribute signals plus record-level aggregates
+/// (whole-record token Jaccard, shared-token count, unique-token counts).
+std::vector<double> RecordSimilarityFeatures(const data::EmRecord& record);
+
+/// Dimension of RecordSimilarityFeatures for a schema width.
+size_t RecordFeatureDim(size_t num_attributes);
+
+}  // namespace wym::baselines
+
+#endif  // WYM_BASELINES_SIMILARITY_FEATURES_H_

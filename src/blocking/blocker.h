@@ -1,0 +1,121 @@
+#ifndef WYM_BLOCKING_BLOCKER_H_
+#define WYM_BLOCKING_BLOCKER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/record.h"
+#include "embedding/semantic_encoder.h"
+#include "text/tokenizer.h"
+
+/// \file
+/// Candidate generation (blocking): the step upstream of matching in a
+/// real ER deployment. The Magellan benchmark datasets the paper
+/// evaluates on are *outputs* of such blockers — labelled candidate
+/// pairs — so this module closes the loop for users who start from two
+/// raw entity tables instead of a pre-paired dataset (see
+/// examples/end_to_end_er.cpp).
+
+namespace wym::blocking {
+
+/// A table of entity descriptions over one schema.
+struct EntityTable {
+  data::Schema schema;
+  std::vector<data::Entity> rows;
+
+  size_t size() const { return rows.size(); }
+};
+
+/// One candidate produced by a blocker.
+struct CandidatePair {
+  size_t left_row = 0;
+  size_t right_row = 0;
+  double score = 0.0;
+};
+
+/// Options for TokenBlocker.
+struct TokenBlockerOptions {
+  /// Minimum number of shared tokens for a pair to be scored at all.
+  size_t min_shared_tokens = 1;
+  /// Minimum token Jaccard over the full descriptions.
+  double min_jaccard = 0.15;
+  /// Keep at most this many candidates per left row (best first);
+  /// 0 = unlimited.
+  size_t max_candidates_per_row = 10;
+  /// Tokens occurring in more than this fraction of the right table are
+  /// skipped when probing the index (stop-token pruning); 1 disables.
+  double max_token_frequency = 0.25;
+};
+
+/// Inverted-index token blocker: pairs sharing enough rare tokens are
+/// scored with whole-record token Jaccard.
+class TokenBlocker {
+ public:
+  using Options = TokenBlockerOptions;
+
+  explicit TokenBlocker(Options options = {});
+
+  /// Generates candidates between two tables with the same schema.
+  /// Deterministic; candidates are sorted by (left_row, -score).
+  std::vector<CandidatePair> Candidates(const EntityTable& left,
+                                        const EntityTable& right) const;
+
+ private:
+  Options options_;
+  text::Tokenizer tokenizer_;
+};
+
+/// Options for EmbeddingBlocker.
+struct EmbeddingBlockerOptions {
+  /// Keep the k best right rows per left row.
+  size_t k = 5;
+  /// Discard candidates below this pooled-embedding cosine.
+  double min_cosine = 0.5;
+};
+
+/// Dense blocker: pools the semantic encoder's token embeddings per row
+/// and keeps the top-k nearest right rows per left row. Catches
+/// candidates token blocking misses (abbreviations, heavy typos).
+class EmbeddingBlocker {
+ public:
+  using Options = EmbeddingBlockerOptions;
+
+  /// The encoder must be fitted; it is borrowed (not owned) and must
+  /// outlive the blocker.
+  EmbeddingBlocker(const embedding::SemanticEncoder* encoder,
+                   Options options = {});
+
+  std::vector<CandidatePair> Candidates(const EntityTable& left,
+                                        const EntityTable& right) const;
+
+ private:
+  const embedding::SemanticEncoder* encoder_;
+  Options options_;
+  text::Tokenizer tokenizer_;
+};
+
+/// Merges candidate lists (union, best score per pair; sorted).
+std::vector<CandidatePair> MergeCandidates(
+    const std::vector<CandidatePair>& a,
+    const std::vector<CandidatePair>& b);
+
+/// Builds an EM dataset from blocked candidates: each candidate becomes
+/// a record; `left_identity[i]` / `right_identity[j]` give the
+/// ground-truth entity id of the rows (records are labelled match when
+/// they agree). Used by the end-to-end example and the blocking tests.
+data::Dataset BuildCandidateDataset(const EntityTable& left,
+                                    const EntityTable& right,
+                                    const std::vector<CandidatePair>& pairs,
+                                    const std::vector<size_t>& left_identity,
+                                    const std::vector<size_t>& right_identity,
+                                    const std::string& name);
+
+/// Blocking recall: the fraction of true matches (same identity) that
+/// survive into the candidate set.
+double BlockingRecall(const std::vector<CandidatePair>& pairs,
+                      const std::vector<size_t>& left_identity,
+                      const std::vector<size_t>& right_identity);
+
+}  // namespace wym::blocking
+
+#endif  // WYM_BLOCKING_BLOCKER_H_

@@ -1,0 +1,12 @@
+#include "core/decision_unit.h"
+
+namespace wym::core {
+
+std::string DecisionUnit::Label() const {
+  if (paired) {
+    return "(" + left.token + ", " + right.token + ")";
+  }
+  return "(" + UnpairedToken().token + ")";
+}
+
+}  // namespace wym::core

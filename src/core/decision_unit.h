@@ -1,0 +1,63 @@
+#ifndef WYM_CORE_DECISION_UNIT_H_
+#define WYM_CORE_DECISION_UNIT_H_
+
+#include <cstddef>
+#include <string>
+
+/// \file
+/// The decision unit (paper §3.1, Eq. 1): the atomic information unit of
+/// an EM explanation. A *paired* unit couples two semantically similar
+/// tokens, one from each entity description; an *unpaired* unit is a
+/// token with no counterpart. Units must cover every token and a token
+/// in an unpaired unit may not also appear in a paired unit.
+
+namespace wym::core {
+
+/// Which entity description a token comes from.
+enum class Side { kLeft, kRight };
+
+/// Which phase of Algorithm 1 produced a pairing.
+enum class UnitPhase {
+  kIntraAttribute,  ///< Phase 1, threshold theta.
+  kInterAttribute,  ///< Phase 2, threshold eta.
+  kOneToMany,       ///< Phase 3, threshold epsilon.
+  kUnpaired,        ///< Leftover token.
+};
+
+/// Reference to one token inside a tokenized entity description.
+struct TokenRef {
+  size_t attribute = 0;  ///< Schema attribute the token came from.
+  size_t position = 0;   ///< Index into the entity's flat token list.
+  std::string token;     ///< The token text.
+};
+
+/// A paired or unpaired decision unit.
+struct DecisionUnit {
+  bool paired = false;
+  UnitPhase phase = UnitPhase::kUnpaired;
+  /// Valid when paired; for unpaired units only the side given by
+  /// `unpaired_side` is meaningful.
+  TokenRef left;
+  TokenRef right;
+  Side unpaired_side = Side::kLeft;
+  /// Cosine (or Jaro-Winkler) similarity at pairing time; 0 for unpaired.
+  double similarity = 0.0;
+
+  /// The token reference of an unpaired unit.
+  const TokenRef& UnpairedToken() const {
+    return unpaired_side == Side::kLeft ? left : right;
+  }
+
+  /// Attribute used for per-attribute feature aggregation: the left
+  /// token's attribute for paired units, the token's own for unpaired.
+  size_t AnchorAttribute() const {
+    return paired ? left.attribute : UnpairedToken().attribute;
+  }
+
+  /// Human-readable form: "(exch, exch)" or "(eng)".
+  std::string Label() const;
+};
+
+}  // namespace wym::core
+
+#endif  // WYM_CORE_DECISION_UNIT_H_

@@ -1,0 +1,50 @@
+#ifndef WYM_CORE_MATCHER_H_
+#define WYM_CORE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+
+/// \file
+/// The abstract EM-matcher interface shared by WYM and the baseline
+/// systems (DM+, AutoML, CorDEL, DITTO stand-ins). Post-hoc explainers
+/// (LIME, Landmark) operate on this interface treating the model as a
+/// black box.
+
+namespace wym::core {
+
+/// A trained binary entity matcher over records of a fixed schema.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// System name as used in the paper's tables ("WYM", "DM+", ...).
+  virtual const char* name() const = 0;
+
+  /// Trains on the given splits (validation may be empty).
+  virtual void Fit(const data::Dataset& train,
+                   const data::Dataset& validation) = 0;
+
+  /// Matching probability for one record.
+  virtual double PredictProba(const data::EmRecord& record) const = 0;
+
+  /// Hard prediction at threshold 0.5.
+  int Predict(const data::EmRecord& record) const {
+    return PredictProba(record) >= 0.5 ? 1 : 0;
+  }
+
+  /// Hard predictions for a whole dataset.
+  std::vector<int> PredictDataset(const data::Dataset& dataset) const {
+    std::vector<int> out;
+    out.reserve(dataset.records.size());
+    for (const auto& record : dataset.records) {
+      out.push_back(Predict(record));
+    }
+    return out;
+  }
+};
+
+}  // namespace wym::core
+
+#endif  // WYM_CORE_MATCHER_H_

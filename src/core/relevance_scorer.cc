@@ -1,0 +1,194 @@
+#include "core/relevance_scorer.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace wym::core {
+
+namespace {
+
+/// Canonical key of a unit for the Eq. 3 averaging: the unordered token
+/// pair for paired units, (token, [UNP]) for unpaired ones. Symmetry of
+/// the key enforces rs((l,r)) == rs((r,l)) at target level (R3).
+std::string UnitKey(const DecisionUnit& unit) {
+  if (!unit.paired) return unit.UnpairedToken().token + "\x1f[UNP]";
+  const std::string& a = unit.left.token;
+  const std::string& b = unit.right.token;
+  return (a <= b) ? a + "\x1f" + b : b + "\x1f" + a;
+}
+
+const la::Vec& EmbeddingOrZero(const TokenizedEntity& entity, size_t index,
+                               const la::Vec& zero) {
+  if (entity.embeddings.empty()) return zero;
+  WYM_CHECK_LT(index, entity.embeddings.size());
+  return entity.embeddings[index];
+}
+
+}  // namespace
+
+RelevanceScorer::RelevanceScorer(Options options)
+    : options_(options), mlp_(options.mlp) {}
+
+std::vector<double> RelevanceScorer::UnitFeatures(
+    const TokenizedRecord& record, const DecisionUnit& unit) {
+  WYM_CHECK(!record.left.embeddings.empty() ||
+            !record.right.embeddings.empty())
+      << "UnitFeatures needs at least one encoded entity";
+  const size_t dim = record.left.embeddings.empty()
+                         ? record.right.embeddings[0].size()
+                         : record.left.embeddings[0].size();
+  la::Vec zero = la::Zeros(dim);
+
+  const la::Vec* left = &zero;
+  const la::Vec* right = &zero;
+  if (unit.paired) {
+    left = &EmbeddingOrZero(record.left, unit.left.position, zero);
+    right = &EmbeddingOrZero(record.right, unit.right.position, zero);
+  } else if (unit.unpaired_side == Side::kLeft) {
+    left = &EmbeddingOrZero(record.left, unit.left.position, zero);
+  } else {
+    right = &EmbeddingOrZero(record.right, unit.right.position, zero);
+  }
+
+  const la::Vec mean = la::MeanOf(*left, *right);
+  const la::Vec diff = la::AbsDiff(*left, *right);
+  std::vector<double> features;
+  features.reserve(2 * dim);
+  for (float v : mean) features.push_back(v);
+  for (float v : diff) features.push_back(v);
+  return features;
+}
+
+double RelevanceScorer::RawTarget(const DecisionUnit& unit, int label) const {
+  if (!unit.paired) {
+    // Unpaired evidence is consistent with non-match (-1); in matching
+    // records it is neutralized to 0 (the R1 mirror case).
+    return label == 1 ? 0.0 : -1.0;
+  }
+  if (label == 1) {
+    return unit.similarity >= options_.alpha ? 1.0 : 0.0;
+  }
+  return unit.similarity < options_.beta ? -1.0 : 0.0;
+}
+
+void RelevanceScorer::Fit(
+    const std::vector<TokenizedRecord>& records,
+    const std::vector<std::vector<DecisionUnit>>& units_per_record) {
+  WYM_CHECK_EQ(records.size(), units_per_record.size());
+  if (options_.kind != ScorerKind::kNeural) {
+    fitted_ = true;
+    return;
+  }
+
+  // Eq. 3: average the Eq. 2 targets over all occurrences of each
+  // distinct unit.
+  struct Aggregate {
+    double sum = 0.0;
+    size_t count = 0;
+  };
+  std::unordered_map<std::string, Aggregate> targets;
+  size_t total_units = 0;
+  for (size_t r = 0; r < records.size(); ++r) {
+    for (const auto& unit : units_per_record[r]) {
+      Aggregate& agg = targets[UnitKey(unit)];
+      agg.sum += RawTarget(unit, records[r].label);
+      ++agg.count;
+      ++total_units;
+    }
+  }
+  if (total_units == 0) {
+    fitted_ = true;
+    return;
+  }
+
+  // Deterministic subsample when the corpus is large.
+  double keep_probability = 1.0;
+  if (total_units > options_.max_training_units) {
+    keep_probability = static_cast<double>(options_.max_training_units) /
+                       static_cast<double>(total_units);
+  }
+  Rng rng(options_.seed);
+
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  rows.reserve(std::min(total_units, options_.max_training_units) + 64);
+  for (size_t r = 0; r < records.size(); ++r) {
+    for (const auto& unit : units_per_record[r]) {
+      if (keep_probability < 1.0 && !rng.Bernoulli(keep_probability)) {
+        continue;
+      }
+      const Aggregate& agg = targets[UnitKey(unit)];
+      rows.push_back(UnitFeatures(records[r], unit));
+      y.push_back(agg.sum / static_cast<double>(agg.count));
+    }
+  }
+  if (rows.empty()) {
+    fitted_ = true;
+    return;
+  }
+
+  la::Matrix x(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows[i].size(); ++j) x.At(i, j) = rows[i][j];
+  }
+  mlp_ = nn::Mlp(options_.mlp);
+  mlp_.Fit(x, y);
+  fitted_ = true;
+}
+
+std::vector<double> RelevanceScorer::Score(
+    const TokenizedRecord& record,
+    const std::vector<DecisionUnit>& units) const {
+  WYM_CHECK(fitted_) << "RelevanceScorer used before Fit";
+  std::vector<double> scores;
+  scores.reserve(units.size());
+  for (const auto& unit : units) {
+    switch (options_.kind) {
+      case ScorerKind::kBinary:
+        scores.push_back(unit.paired ? 1.0 : -1.0);
+        break;
+      case ScorerKind::kCosine:
+        scores.push_back(unit.paired
+                             ? std::clamp(unit.similarity, -1.0, 1.0)
+                             : -0.5);
+        break;
+      case ScorerKind::kNeural: {
+        if (!mlp_.fitted()) {
+          // Degenerate training corpus: fall back to the binary rule.
+          scores.push_back(unit.paired ? 1.0 : -1.0);
+          break;
+        }
+        scores.push_back(mlp_.Predict(UnitFeatures(record, unit)));
+        break;
+      }
+    }
+  }
+  return scores;
+}
+
+void RelevanceScorer::Save(serde::Serializer* s) const {
+  s->Tag("scorer/v1");
+  s->U64(static_cast<uint64_t>(options_.kind));
+  s->F64(options_.alpha);
+  s->F64(options_.beta);
+  s->Bool(fitted_);
+  s->Bool(mlp_.fitted());
+  if (mlp_.fitted()) mlp_.Save(s);
+}
+
+bool RelevanceScorer::Load(serde::Deserializer* d) {
+  if (!d->Tag("scorer/v1")) return false;
+  options_.kind = static_cast<ScorerKind>(d->U64());
+  options_.alpha = d->F64();
+  options_.beta = d->F64();
+  fitted_ = d->Bool();
+  const bool has_mlp = d->Bool();
+  if (has_mlp && !mlp_.Load(d)) return false;
+  return d->ok();
+}
+
+}  // namespace wym::core

@@ -1,0 +1,248 @@
+#include "core/wym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace wym::core {
+
+std::vector<size_t> Explanation::RankByImpactMagnitude() const {
+  std::vector<size_t> order(units.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return std::fabs(units[a].impact) > std::fabs(units[b].impact);
+  });
+  return order;
+}
+
+WymModel::WymModel(WymConfig config)
+    : config_(std::move(config)),
+      tokenizer_(config_.tokenizer),
+      encoder_(config_.encoder),
+      generator_(config_.generator),
+      scorer_(config_.scorer),
+      matcher_(0, config_.simplified_features) {}
+
+void WymModel::Fit(const data::Dataset& train,
+                   const data::Dataset& validation) {
+  WYM_CHECK_GT(train.size(), 0u) << "empty training set";
+  num_attributes_ = train.schema.size();
+
+  // Rebuild stateful components so Fit is idempotent.
+  encoder_ = embedding::SemanticEncoder(config_.encoder);
+  scorer_ = RelevanceScorer(config_.scorer);
+  ExplainableMatcherOptions matcher_options;
+  matcher_options.classifier = config_.classifier;
+  matcher_options.seed = config_.seed;
+  matcher_ = ExplainableMatcher(num_attributes_, config_.simplified_features,
+                                matcher_options);
+
+  // 1. Tokenize the training corpus and fit the encoder on it.
+  std::vector<TokenizedRecord> train_tokens;
+  train_tokens.reserve(train.size());
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(2 * train.size());
+  for (const auto& record : train.records) {
+    TokenizedRecord tokenized =
+        TokenizeRecord(record, train.schema, tokenizer_);
+    corpus.push_back(tokenized.left.tokens);
+    corpus.push_back(tokenized.right.tokens);
+    train_tokens.push_back(std::move(tokenized));
+  }
+  encoder_.Fit(corpus);
+
+  // 2. Encode; then (kSiamese) calibrate on pooled pair embeddings and
+  // re-encode with the calibrated metric.
+  auto encode_all = [this](std::vector<TokenizedRecord>* records) {
+    for (auto& record : *records) {
+      EncodeEntity(encoder_, &record.left);
+      EncodeEntity(encoder_, &record.right);
+    }
+  };
+  encode_all(&train_tokens);
+  if (config_.encoder.mode == embedding::EncoderMode::kSiamese) {
+    std::vector<std::pair<la::Vec, la::Vec>> pairs;
+    std::vector<int> labels;
+    for (const auto& record : train_tokens) {
+      if (record.left.embeddings.empty() || record.right.embeddings.empty()) {
+        continue;
+      }
+      pairs.emplace_back(
+          embedding::SemanticEncoder::PoolTokens(record.left.embeddings),
+          embedding::SemanticEncoder::PoolTokens(record.right.embeddings));
+      labels.push_back(record.label);
+    }
+    encoder_.FitSiamese(pairs, labels);
+    encode_all(&train_tokens);  // Calibration changes the vectors.
+  }
+
+  // 3. Discover decision units (Algorithm 1) on every training record.
+  std::vector<std::vector<DecisionUnit>> train_units;
+  train_units.reserve(train_tokens.size());
+  for (const auto& record : train_tokens) {
+    train_units.push_back(
+        generator_.Generate(record.left, record.right, num_attributes_));
+  }
+
+  // 4. Fit the relevance scorer (Eq. 2/3 targets).
+  scorer_.Fit(train_tokens, train_units);
+
+  // 5. Score units and extract features for train + validation.
+  auto scored_sets = [&](const std::vector<TokenizedRecord>& records,
+                         const std::vector<std::vector<DecisionUnit>>& units) {
+    std::vector<ScoredUnitSet> sets(records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      sets[i].units = units[i];
+      sets[i].scores = scorer_.Score(records[i], units[i]);
+    }
+    return sets;
+  };
+  const std::vector<ScoredUnitSet> train_sets =
+      scored_sets(train_tokens, train_units);
+
+  std::vector<TokenizedRecord> val_tokens;
+  std::vector<std::vector<DecisionUnit>> val_units;
+  for (const auto& record : validation.records) {
+    TokenizedRecord tokenized =
+        TokenizeRecord(record, validation.schema, tokenizer_);
+    EncodeEntity(encoder_, &tokenized.left);
+    EncodeEntity(encoder_, &tokenized.right);
+    val_units.push_back(
+        generator_.Generate(tokenized.left, tokenized.right, num_attributes_));
+    val_tokens.push_back(std::move(tokenized));
+  }
+  const std::vector<ScoredUnitSet> val_sets =
+      scored_sets(val_tokens, val_units);
+
+  // 6. Train the classifier pool and select by validation F1.
+  matcher_.Fit(train_sets, train.Labels(), val_sets, validation.Labels());
+  fitted_ = true;
+}
+
+TokenizedRecord WymModel::Prepare(const data::EmRecord& record) const {
+  WYM_CHECK(fitted_) << "WymModel used before Fit";
+  data::Schema schema;
+  schema.attributes.resize(num_attributes_);  // Names are not needed here.
+  WYM_CHECK_EQ(record.left.values.size(), num_attributes_);
+  WYM_CHECK_EQ(record.right.values.size(), num_attributes_);
+  TokenizedRecord tokenized = TokenizeRecord(record, schema, tokenizer_);
+  EncodeEntity(encoder_, &tokenized.left);
+  EncodeEntity(encoder_, &tokenized.right);
+  return tokenized;
+}
+
+std::vector<DecisionUnit> WymModel::GenerateUnits(
+    const TokenizedRecord& record) const {
+  return generator_.Generate(record.left, record.right, num_attributes_);
+}
+
+std::vector<double> WymModel::ScoreUnits(
+    const TokenizedRecord& record,
+    const std::vector<DecisionUnit>& units) const {
+  return scorer_.Score(record, units);
+}
+
+ScoredUnitSet WymModel::BuildScoredUnits(const TokenizedRecord& record) const {
+  ScoredUnitSet set;
+  set.units = GenerateUnits(record);
+  set.scores = ScoreUnits(record, set.units);
+  return set;
+}
+
+double WymModel::PredictProba(const data::EmRecord& record) const {
+  return matcher_.PredictProba(BuildScoredUnits(Prepare(record)));
+}
+
+double WymModel::PredictProbaFromUnits(const ScoredUnitSet& set) const {
+  return matcher_.PredictProba(set);
+}
+
+Explanation WymModel::Explain(const data::EmRecord& record) const {
+  const TokenizedRecord tokenized = Prepare(record);
+  const ScoredUnitSet set = BuildScoredUnits(tokenized);
+
+  Explanation out;
+  out.probability = matcher_.PredictProba(set);
+  out.prediction = out.probability >= 0.5 ? 1 : 0;
+  const std::vector<double> impacts = matcher_.UnitImpacts(set);
+  out.units.reserve(set.size());
+  for (size_t u = 0; u < set.size(); ++u) {
+    out.units.push_back({set.units[u], set.scores[u], impacts[u]});
+  }
+  return out;
+}
+
+Status WymModel::SaveToFile(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("cannot save an unfitted WymModel");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  serde::Serializer s(&out);
+  s.Tag("wym-model/v1");
+  // Config scalars needed to rebuild the stateless components.
+  s.Bool(config_.tokenizer.lowercase);
+  s.Bool(config_.tokenizer.remove_stopwords);
+  s.U64(config_.tokenizer.min_token_length);
+  s.F64(config_.generator.theta);
+  s.F64(config_.generator.eta);
+  s.F64(config_.generator.epsilon);
+  s.U64(static_cast<uint64_t>(config_.generator.similarity));
+  s.U64(config_.generator.rules.size());  // Informational only.
+  s.Bool(config_.simplified_features);
+  s.Str(config_.classifier);
+  s.U64(num_attributes_);
+  // Fitted components.
+  encoder_.Save(&s);
+  scorer_.Save(&s);
+  matcher_.Save(&s);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<WymModel> WymModel::LoadFromFile(const std::string& path,
+                                        std::vector<PairingRule> rules) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  serde::Deserializer d(&in);
+  if (!d.Tag("wym-model/v1")) {
+    return Status::Corruption("not a WYM model file: " + path);
+  }
+  WymConfig config;
+  config.tokenizer.lowercase = d.Bool();
+  config.tokenizer.remove_stopwords = d.Bool();
+  config.tokenizer.min_token_length = d.U64();
+  config.generator.theta = d.F64();
+  config.generator.eta = d.F64();
+  config.generator.epsilon = d.F64();
+  config.generator.similarity = static_cast<PairingSimilarity>(d.U64());
+  const uint64_t rule_count = d.U64();
+  config.simplified_features = d.Bool();
+  config.classifier = d.Str();
+  if (!d.ok()) return Status::Corruption("truncated model header: " + path);
+  if (rule_count != rules.size()) {
+    return Status::InvalidArgument(
+        "model was trained with " + std::to_string(rule_count) +
+        " pairing rule(s); pass the same rules to LoadFromFile");
+  }
+  config.generator.rules = std::move(rules);
+
+  WymModel model(config);
+  model.num_attributes_ = d.U64();
+  if (!model.encoder_.Load(&d)) {
+    return Status::Corruption("bad encoder state: " + path);
+  }
+  if (!model.scorer_.Load(&d)) {
+    return Status::Corruption("bad scorer state: " + path);
+  }
+  if (!model.matcher_.Load(&d)) {
+    return Status::Corruption("bad matcher state: " + path);
+  }
+  if (!d.ok()) return Status::Corruption("truncated model file: " + path);
+  model.fitted_ = true;
+  return model;
+}
+
+}  // namespace wym::core

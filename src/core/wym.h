@@ -1,0 +1,153 @@
+#ifndef WYM_CORE_WYM_H_
+#define WYM_CORE_WYM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/explainable_matcher.h"
+#include "core/matcher.h"
+#include "core/relevance_scorer.h"
+#include "core/tokenized_record.h"
+#include "core/unit_generator.h"
+#include "data/record.h"
+#include "embedding/semantic_encoder.h"
+#include "text/tokenizer.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+/// \file
+/// The WYM facade: the full "Why do You Match?" pipeline of the paper —
+/// tokenize -> encode -> discover decision units (Algorithm 1) -> score
+/// their relevance -> engineer features -> classify -> attribute impact
+/// scores. This is the library's primary public API.
+///
+/// Typical use:
+/// \code
+///   wym::core::WymModel model;                 // default WymConfig
+///   model.Fit(split.train, split.validation);
+///   auto explanation = model.Explain(record);  // prediction + units
+/// \endcode
+
+namespace wym::core {
+
+/// End-to-end configuration of the pipeline. Defaults reproduce the
+/// paper's setting (theta/eta/epsilon = 0.6/0.65/0.7, SBERT-like encoder,
+/// neural relevance scorer, full feature engineering, best-of-pool
+/// classifier selection).
+struct WymConfig {
+  text::TokenizerOptions tokenizer;
+  /// Pairing thresholds. The paper's values (0.6 / 0.65 / 0.7) are tuned
+  /// to BERT's cosine geometry; the substitute hash-gram + PPMI encoder
+  /// has a wider cosine spread, so the calibrated defaults sit lower
+  /// while preserving the increasing theta < eta < epsilon ordering the
+  /// paper prescribes (§4.1.2).
+  UnitGeneratorOptions generator = {.theta = 0.45,
+                                    .eta = 0.50,
+                                    .epsilon = 0.55,
+                                    .similarity =
+                                        PairingSimilarity::kEmbedding,
+                                    .rules = {}};
+  embedding::SemanticEncoderOptions encoder = {
+      .mode = embedding::EncoderMode::kSiamese,
+      .hash_dim = 32,
+      .cooc_dim = 16,
+      .cooc = {},
+      .context = {},
+      .siamese = {},
+      .seed = 0xE11C0DE};
+  RelevanceScorerOptions scorer;
+  /// Use the 6-feature simplified matcher (Table 4 ablation).
+  bool simplified_features = false;
+  /// Pin the classifier ("LR", ..., empty = best-of-pool).
+  std::string classifier;
+  uint64_t seed = 0x3717;
+};
+
+/// One explained decision unit.
+struct ExplainedUnit {
+  DecisionUnit unit;
+  double relevance = 0.0;
+  double impact = 0.0;
+};
+
+/// Prediction plus explanation for one record (paper §3.1: EX(r)).
+struct Explanation {
+  int prediction = 0;
+  double probability = 0.0;
+  std::vector<ExplainedUnit> units;
+
+  /// Unit indices sorted by |impact| descending (explanation reading
+  /// order; also used by the conciseness and MoRF/LeRF evaluations).
+  std::vector<size_t> RankByImpactMagnitude() const;
+};
+
+/// The intrinsically interpretable EM system.
+class WymModel : public Matcher {
+ public:
+  explicit WymModel(WymConfig config = {});
+
+  const char* name() const override { return "WYM"; }
+
+  /// Trains the full pipeline. `validation` steers classifier selection
+  /// (pass an empty dataset to select on training F1).
+  void Fit(const data::Dataset& train,
+           const data::Dataset& validation) override;
+
+  /// Matching probability for a record.
+  double PredictProba(const data::EmRecord& record) const override;
+
+  /// Prediction + decision units with relevance and impact scores.
+  Explanation Explain(const data::EmRecord& record) const;
+
+  /// --- lower-level hooks used by the evaluation harnesses ---
+
+  /// Tokenizes + encodes a record with the trained encoder.
+  TokenizedRecord Prepare(const data::EmRecord& record) const;
+
+  /// Decision units of a prepared record.
+  std::vector<DecisionUnit> GenerateUnits(const TokenizedRecord& record) const;
+
+  /// Relevance scores for given units.
+  std::vector<double> ScoreUnits(const TokenizedRecord& record,
+                                 const std::vector<DecisionUnit>& units) const;
+
+  /// Probability from an explicit (possibly perturbed) scored unit set —
+  /// the entry point of the MoRF/LeRF/sufficiency experiments, which
+  /// remove units and re-predict.
+  double PredictProbaFromUnits(const ScoredUnitSet& set) const;
+
+  /// Persists the trained pipeline (encoder state, scorer network,
+  /// selected classifier, calibration). Custom pairing rules
+  /// (config().generator.rules) are code, not data: they are NOT
+  /// serialized and must be re-registered via LoadFromFile's config
+  /// parameter.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Restores a SaveToFile()d model. `rules` re-attaches the pairing
+  /// rules that were active at training time (empty = none).
+  static Result<WymModel> LoadFromFile(
+      const std::string& path, std::vector<PairingRule> rules = {});
+
+  bool fitted() const { return fitted_; }
+  const WymConfig& config() const { return config_; }
+  const ExplainableMatcher& matcher() const { return matcher_; }
+  const embedding::SemanticEncoder& encoder() const { return encoder_; }
+  size_t num_attributes() const { return num_attributes_; }
+
+ private:
+  ScoredUnitSet BuildScoredUnits(const TokenizedRecord& record) const;
+
+  WymConfig config_;
+  text::Tokenizer tokenizer_;
+  embedding::SemanticEncoder encoder_;
+  DecisionUnitGenerator generator_;
+  RelevanceScorer scorer_;
+  ExplainableMatcher matcher_;
+  size_t num_attributes_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace wym::core
+
+#endif  // WYM_CORE_WYM_H_

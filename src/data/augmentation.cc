@@ -1,0 +1,66 @@
+#include "data/augmentation.h"
+
+#include <utility>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace wym::data {
+
+namespace {
+
+/// Token dropout + adjacent transposition on one attribute value.
+std::string PerturbValue(const std::string& value, bool is_identity,
+                         const AugmentationOptions& options, Rng* rng) {
+  std::vector<std::string> tokens = strings::SplitWhitespace(value);
+  if (tokens.empty()) return value;
+
+  // Dropout; the identity attribute keeps at least half of its tokens so
+  // the record stays resolvable.
+  std::vector<std::string> kept;
+  const size_t min_keep =
+      is_identity ? (tokens.size() + 1) / 2 : 1;
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const size_t remaining = tokens.size() - t;
+    if (kept.size() + remaining > min_keep &&
+        rng->Bernoulli(options.token_dropout)) {
+      continue;
+    }
+    kept.push_back(tokens[t]);
+  }
+  if (kept.empty()) kept.push_back(tokens.front());
+
+  if (kept.size() > 1 && rng->Bernoulli(options.token_shuffle)) {
+    const size_t pos = rng->Index(kept.size() - 1);
+    std::swap(kept[pos], kept[pos + 1]);
+  }
+  return strings::Join(kept, " ");
+}
+
+}  // namespace
+
+Dataset AugmentDataset(const Dataset& dataset,
+                       const AugmentationOptions& options) {
+  Dataset out = dataset;
+  out.name = dataset.name + "/augmented";
+  Rng rng(options.seed);
+  out.records.reserve(dataset.size() * (1 + options.copies_per_record));
+  for (const auto& record : dataset.records) {
+    for (size_t copy = 0; copy < options.copies_per_record; ++copy) {
+      EmRecord augmented = record;
+      if (rng.Bernoulli(options.swap_sides)) {
+        std::swap(augmented.left, augmented.right);
+      }
+      for (auto* entity : {&augmented.left, &augmented.right}) {
+        for (size_t a = 0; a < entity->values.size(); ++a) {
+          entity->values[a] =
+              PerturbValue(entity->values[a], a == 0, options, &rng);
+        }
+      }
+      out.records.push_back(std::move(augmented));
+    }
+  }
+  return out;
+}
+
+}  // namespace wym::data

@@ -1,0 +1,42 @@
+#ifndef WYM_DATA_AUGMENTATION_H_
+#define WYM_DATA_AUGMENTATION_H_
+
+#include <cstdint>
+
+#include "data/record.h"
+
+/// \file
+/// Label-preserving training-set augmentation: the technique behind
+/// DITTO's data augmentation (Li et al. 2021) and one ingredient of the
+/// paper's future-work plan of injecting automatically generated
+/// synthetic sentences (§6). Augmented copies keep the label because
+/// every operator preserves record identity:
+///   - side swap: (left, right) -> (right, left) — EM is symmetric;
+///   - token dropout: random tokens removed from attribute values;
+///   - token shuffle: adjacent tokens transposed.
+
+namespace wym::data {
+
+/// Options for AugmentDataset.
+struct AugmentationOptions {
+  /// Augmented copies produced per source record (on top of the
+  /// originals).
+  size_t copies_per_record = 1;
+  /// Probability of swapping the two descriptions in a copy.
+  double swap_sides = 0.5;
+  /// Per-token dropout probability inside a copy (identity attribute is
+  /// capped so records stay resolvable).
+  double token_dropout = 0.08;
+  /// Per-attribute probability of one adjacent-token transposition.
+  double token_shuffle = 0.2;
+  uint64_t seed = 0xA46;
+};
+
+/// Returns `dataset` plus augmented copies of every record (originals
+/// first, copies after, same schema). Deterministic in (dataset, options).
+Dataset AugmentDataset(const Dataset& dataset,
+                       const AugmentationOptions& options = {});
+
+}  // namespace wym::data
+
+#endif  // WYM_DATA_AUGMENTATION_H_

@@ -1,0 +1,72 @@
+#ifndef WYM_DATA_BENCHMARK_GEN_H_
+#define WYM_DATA_BENCHMARK_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/catalog.h"
+#include "data/corruption.h"
+#include "data/record.h"
+
+/// \file
+/// The synthetic Magellan benchmark (see DESIGN.md §1 for the
+/// substitution rationale). Twelve dataset specs mirror Table 2 of the
+/// paper: ids, domains, relative sizes, match rates, structured / textual
+/// / dirty types, and per-dataset difficulty via the corruption profile
+/// and the hard-negative share.
+
+namespace wym::data {
+
+/// Dataset category, Table 2's "Type" column.
+enum class DatasetType { kStructured, kTextual, kDirty };
+
+/// Printable type name ("Structured" / "Textual" / "Dirty").
+const char* DatasetTypeName(DatasetType type);
+
+/// Static description of one benchmark dataset.
+struct DatasetSpec {
+  std::string id;         ///< "S-DG", "T-AB", "D-WA", ...
+  std::string full_name;  ///< "DBLP-GoogleScholar", ...
+  DatasetType type = DatasetType::kStructured;
+  Domain domain = Domain::kBibliographic;
+  /// Size / match rate reported in the paper's Table 2.
+  size_t paper_size = 0;
+  double paper_match_percent = 0.0;
+  /// Generated size at scale 1 (paper sizes scaled to CPU budget; the
+  /// small datasets keep their true size).
+  size_t default_size = 0;
+  /// Fraction of records labelled match.
+  double match_fraction = 0.1;
+  /// Fraction of the negatives that are confusable siblings
+  /// (same brand / venue / city).
+  double hard_negative_fraction = 0.5;
+  /// Blocking filter: candidate pairs in the Magellan benchmark pass a
+  /// cheap similarity blocker before labelling, so records whose
+  /// identity-attribute token overlap (Jaccard) falls below this
+  /// threshold are re-drawn. 0 disables blocking.
+  double blocking_threshold = 0.0;
+  /// Per-view corruption (difficulty knob).
+  CorruptionProfile corruption;
+  /// Textual datasets additionally carry a generated long description.
+  bool long_description = false;
+};
+
+/// Specs of the full 12-dataset benchmark in Table 2 order.
+const std::vector<DatasetSpec>& BenchmarkSpecs();
+
+/// Spec lookup by id; nullptr when unknown.
+const DatasetSpec* FindSpec(const std::string& id);
+
+/// Generates a dataset from a spec. `scale` multiplies default_size
+/// (minimum 50 records enforced). Deterministic in (spec, seed, scale).
+Dataset GenerateDataset(const DatasetSpec& spec, uint64_t seed,
+                        double scale = 1.0);
+
+/// Convenience: generate by id. CHECK-fails on unknown ids.
+Dataset GenerateById(const std::string& id, uint64_t seed,
+                     double scale = 1.0);
+
+}  // namespace wym::data
+
+#endif  // WYM_DATA_BENCHMARK_GEN_H_

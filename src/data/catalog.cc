@@ -1,0 +1,360 @@
+#include "data/catalog.h"
+
+#include <span>
+#include <string_view>
+
+#include "data/word_pools.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wym::data {
+
+namespace {
+
+using pools::Brands;
+using pools::Cities;
+using pools::Cuisines;
+using pools::FirstNames;
+using pools::Genres;
+using pools::LastNames;
+using pools::ProductAdjectives;
+using pools::ProductCategories;
+using pools::ProductUnits;
+using pools::ResearchQualifiers;
+using pools::ResearchTopics;
+using pools::RestaurantNouns;
+using pools::SongAdjectives;
+using pools::SongNouns;
+using pools::StreetNames;
+using pools::Venues;
+
+std::string Pick(std::span<const std::string_view> pool, Rng* rng) {
+  WYM_CHECK(!pool.empty());
+  return std::string(pool[rng->Index(pool.size())]);
+}
+
+std::string PersonName(Rng* rng) {
+  return Pick(FirstNames(), rng) + " " + Pick(LastNames(), rng);
+}
+
+/// Alphanumeric model / product code, e.g. "dx4520a" — the token shape
+/// the paper's error analysis singles out (§5.1.1).
+std::string ModelCode(Rng* rng) {
+  static constexpr std::string_view kLetters = "abcdefghijklmnopqrstuvwxyz";
+  std::string code;
+  const size_t n_letters = 1 + rng->Index(3);
+  for (size_t i = 0; i < n_letters; ++i) {
+    code += kLetters[rng->Index(kLetters.size())];
+  }
+  const size_t n_digits = 3 + rng->Index(3);
+  for (size_t i = 0; i < n_digits; ++i) {
+    code += static_cast<char>('0' + rng->Index(10));
+  }
+  if (rng->Bernoulli(0.4)) code += kLetters[rng->Index(kLetters.size())];
+  return code;
+}
+
+/// A different code of the same product family: shared letter prefix,
+/// fresh digits/suffix (e.g. "dslra200w" -> "dslra467k").
+std::string SiblingCode(const std::string& code, Rng* rng) {
+  std::string out = code;
+  bool changed = false;
+  for (char& c : out) {
+    if (c >= '0' && c <= '9') {
+      const char fresh = static_cast<char>('0' + rng->Index(10));
+      changed = changed || fresh != c;
+      c = fresh;
+    }
+  }
+  if (!changed && !out.empty()) {
+    out.back() = static_cast<char>('a' + rng->Index(26));
+  }
+  return out;
+}
+
+std::string Price(double lo, double hi, Rng* rng) {
+  return strings::FormatDouble(rng->Uniform(lo, hi), 2);
+}
+
+std::string ResearchTitle(Rng* rng) {
+  std::string title = Pick(ResearchQualifiers(), rng);
+  const size_t n_words = 3 + rng->Index(4);
+  for (size_t i = 0; i < n_words; ++i) {
+    title += " " + Pick(ResearchTopics(), rng);
+  }
+  return title;
+}
+
+CatalogEntity BibliographicEntity(Rng* rng) {
+  CatalogEntity entity;
+  const size_t venue = rng->Index(Venues().size());
+  std::string authors = PersonName(rng);
+  const size_t extra_authors = rng->Index(3);
+  for (size_t i = 0; i < extra_authors; ++i) {
+    authors += ", " + PersonName(rng);
+  }
+  entity.values = {ResearchTitle(rng), authors,
+                   std::string(Venues()[venue]),
+                   std::to_string(1995 + rng->Index(28))};
+  entity.group = venue;
+  return entity;
+}
+
+CatalogEntity SoftwareEntity(Rng* rng) {
+  // Software vendors only (a slice of the brand pool).
+  static constexpr std::string_view kVendors[] = {
+      "microsoft", "adobe", "symantec", "mcafee", "intuit", "corel", "apple"};
+  static constexpr std::string_view kKinds[] = {
+      "office",   "antivirus", "studio",  "exchange", "photoshop",
+      "quickbooks", "windows", "acrobat", "norton",   "painter"};
+  static constexpr std::string_view kEditions[] = {
+      "professional", "standard", "deluxe", "premium", "home", "academic"};
+  CatalogEntity entity;
+  const size_t vendor = rng->Index(std::size(kVendors));
+  std::string name = std::string(kKinds[rng->Index(std::size(kKinds))]);
+  name += " " + std::string(kKinds[rng->Index(std::size(kKinds))]);
+  name += " " + std::to_string(2000 + rng->Index(10));
+  name += " " + std::string(kEditions[rng->Index(std::size(kEditions))]);
+  // License / SKU code: the identity token.
+  std::string code;
+  for (int i = 0; i < 8; ++i) code += static_cast<char>('0' + rng->Index(10));
+  name += " " + code;
+  entity.values = {name, std::string(kVendors[vendor]), Price(20, 900, rng)};
+  entity.group = vendor;
+  return entity;
+}
+
+CatalogEntity ProductEntity(Rng* rng) {
+  CatalogEntity entity;
+  const size_t brand = rng->Index(Brands().size());
+  std::string name = Pick(ProductAdjectives(), rng);
+  if (rng->Bernoulli(0.5)) name += " " + Pick(ProductAdjectives(), rng);
+  name += " " + Pick(ProductCategories(), rng);
+  if (rng->Bernoulli(0.5)) {
+    name += " " + std::to_string(1 + rng->Index(64)) + " " +
+            Pick(ProductUnits(), rng);
+  }
+  name += " " + ModelCode(rng);
+  entity.values = {name, std::string(Brands()[brand]), Price(5, 1500, rng)};
+  entity.group = brand;
+  return entity;
+}
+
+CatalogEntity BeerEntity(Rng* rng) {
+  CatalogEntity entity;
+  const size_t brewery = rng->Index(pools::BreweryNouns().size());
+  std::string beer = Pick(pools::BeerAdjectives(), rng) + " " +
+                     Pick(pools::BeerAdjectives(), rng) + " " +
+                     Pick(pools::BeerStyles(), rng);
+  std::string factory = std::string(pools::BreweryNouns()[brewery]) +
+                        " brewing company";
+  entity.values = {beer, factory, Pick(pools::BeerStyles(), rng),
+                   strings::FormatDouble(rng->Uniform(4.0, 12.0), 1)};
+  entity.group = brewery;
+  return entity;
+}
+
+CatalogEntity SongEntity(Rng* rng) {
+  CatalogEntity entity;
+  const size_t artist_seed = rng->Index(LastNames().size());
+  std::string artist;
+  if (rng->Bernoulli(0.5)) {
+    artist = std::string(FirstNames()[rng->Index(FirstNames().size())]) +
+             " " + std::string(LastNames()[artist_seed]);
+  } else {
+    artist = "the " + Pick(SongAdjectives(), rng) + " " +
+             Pick(SongNouns(), rng) + "s";
+  }
+  std::string song = Pick(SongAdjectives(), rng) + " " +
+                     Pick(SongNouns(), rng);
+  if (rng->Bernoulli(0.3)) song += " " + Pick(SongNouns(), rng);
+  std::string album = Pick(SongAdjectives(), rng) + " " +
+                      Pick(SongNouns(), rng);
+  std::string time = std::to_string(2 + rng->Index(4)) + ":" +
+                     std::to_string(10 + rng->Index(50));
+  entity.values = {song,
+                   artist,
+                   album,
+                   Pick(Genres(), rng),
+                   rng->Bernoulli(0.5) ? "0.99" : "1.29",
+                   time};
+  entity.group = artist_seed;
+  return entity;
+}
+
+CatalogEntity RestaurantEntity(Rng* rng) {
+  CatalogEntity entity;
+  const size_t city = rng->Index(Cities().size());
+  std::string name = rng->Bernoulli(0.5)
+                         ? Pick(RestaurantNouns(), rng) + " " +
+                               Pick(RestaurantNouns(), rng)
+                         : "the " + Pick(Cuisines(), rng) + " " +
+                               Pick(RestaurantNouns(), rng);
+  std::string addr = std::to_string(100 + rng->Index(9900)) + " " +
+                     Pick(StreetNames(), rng) +
+                     (rng->Bernoulli(0.5) ? " street" : " avenue");
+  std::string phone = std::to_string(200 + rng->Index(800)) + "-555-" +
+                      std::to_string(1000 + rng->Index(9000));
+  entity.values = {name, addr, std::string(Cities()[city]), phone,
+                   Pick(Cuisines(), rng)};
+  entity.group = city;
+  return entity;
+}
+
+/// Replaces roughly `fraction` of the whitespace-separated words of
+/// `value` with fresh draws from `pool` (keeps word count).
+std::string MutateWords(const std::string& value,
+                        std::span<const std::string_view> pool,
+                        double fraction, Rng* rng) {
+  std::vector<std::string> words = strings::SplitWhitespace(value);
+  bool changed = false;
+  for (auto& word : words) {
+    if (rng->Bernoulli(fraction)) {
+      word = Pick(pool, rng);
+      changed = true;
+    }
+  }
+  if (!changed && !words.empty()) {
+    words[rng->Index(words.size())] = Pick(pool, rng);
+  }
+  return strings::Join(words, " ");
+}
+
+}  // namespace
+
+Schema DomainSchema(Domain domain) {
+  switch (domain) {
+    case Domain::kBibliographic:
+      return {{"title", "authors", "venue", "year"}};
+    case Domain::kSoftware:
+    case Domain::kProduct:
+      return {{"name", "manufacturer", "price"}};
+    case Domain::kBeer:
+      return {{"beer_name", "factory_name", "style", "abv"}};
+    case Domain::kSong:
+      return {{"song_name", "artist_name", "album_name", "genre", "price",
+               "time"}};
+    case Domain::kRestaurant:
+      return {{"name", "addr", "city", "phone", "type"}};
+  }
+  WYM_CHECK(false) << "unknown domain";
+  return {};
+}
+
+size_t IdentityAttribute(Domain domain) {
+  // All domain schemas carry identity in attribute 0 (title / name).
+  (void)domain;
+  return 0;
+}
+
+std::vector<CatalogEntity> GenerateCatalog(Domain domain, size_t n,
+                                           Rng* rng) {
+  std::vector<CatalogEntity> catalog;
+  catalog.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (domain) {
+      case Domain::kBibliographic:
+        catalog.push_back(BibliographicEntity(rng));
+        break;
+      case Domain::kSoftware:
+        catalog.push_back(SoftwareEntity(rng));
+        break;
+      case Domain::kProduct:
+        catalog.push_back(ProductEntity(rng));
+        break;
+      case Domain::kBeer:
+        catalog.push_back(BeerEntity(rng));
+        break;
+      case Domain::kSong:
+        catalog.push_back(SongEntity(rng));
+        break;
+      case Domain::kRestaurant:
+        catalog.push_back(RestaurantEntity(rng));
+        break;
+    }
+  }
+  return catalog;
+}
+
+CatalogEntity MakeSibling(Domain domain, const CatalogEntity& entity,
+                          Rng* rng) {
+  CatalogEntity sibling = entity;  // Keeps the group and shared tokens.
+  switch (domain) {
+    case Domain::kBibliographic: {
+      // Same venue, overlapping topic words, different paper.
+      sibling.values[0] =
+          MutateWords(entity.values[0], ResearchTopics(), 0.45, rng);
+      sibling.values[1] = PersonName(rng);
+      if (rng->Bernoulli(0.5)) {
+        sibling.values[3] = std::to_string(1995 + rng->Index(28));
+      }
+      break;
+    }
+    case Domain::kSoftware: {
+      // Same vendor; change the SKU digits and an edition word.
+      std::vector<std::string> words =
+          strings::SplitWhitespace(entity.values[0]);
+      for (auto& word : words) {
+        if (strings::IsNumeric(word) && word.size() >= 6) {
+          // Sibling SKU: keep the leading digits, vary the tail.
+          for (size_t i = word.size() / 2; i < word.size(); ++i) {
+            word[i] = static_cast<char>('0' + rng->Index(10));
+          }
+        }
+      }
+      if (words.size() > 1) {
+        static constexpr std::string_view kEditions[] = {
+            "professional", "standard", "deluxe", "premium", "home"};
+        words[words.size() - 2] =
+            std::string(kEditions[rng->Index(std::size(kEditions))]);
+      }
+      sibling.values[0] = strings::Join(words, " ");
+      sibling.values[2] = Price(20, 900, rng);
+      break;
+    }
+    case Domain::kProduct: {
+      // Same brand and category family; a *sibling* model code sharing
+      // the family prefix ("dslra200w" -> "dslra350k"): the confusable
+      // token shape behind the paper's §5.1.1 error analysis.
+      std::vector<std::string> words =
+          strings::SplitWhitespace(entity.values[0]);
+      for (auto& word : words) {
+        if (strings::IsAlphanumericCode(word)) word = SiblingCode(word, rng);
+      }
+      if (!words.empty() && rng->Bernoulli(0.6)) {
+        words[0] = Pick(ProductAdjectives(), rng);
+      }
+      sibling.values[0] = strings::Join(words, " ");
+      sibling.values[2] = Price(5, 1500, rng);
+      break;
+    }
+    case Domain::kBeer: {
+      sibling.values[0] =
+          MutateWords(entity.values[0], pools::BeerAdjectives(), 0.6, rng);
+      sibling.values[3] = strings::FormatDouble(rng->Uniform(4.0, 12.0), 1);
+      break;
+    }
+    case Domain::kSong: {
+      // Same artist, different song of theirs.
+      sibling.values[0] = Pick(SongAdjectives(), rng) + " " +
+                          Pick(SongNouns(), rng);
+      sibling.values[5] = std::to_string(2 + rng->Index(4)) + ":" +
+                          std::to_string(10 + rng->Index(50));
+      break;
+    }
+    case Domain::kRestaurant: {
+      // Same city and cuisine, different venue.
+      sibling.values[0] =
+          MutateWords(entity.values[0], RestaurantNouns(), 0.7, rng);
+      sibling.values[1] = std::to_string(100 + rng->Index(9900)) + " " +
+                          Pick(StreetNames(), rng) +
+                          (rng->Bernoulli(0.5) ? " street" : " avenue");
+      sibling.values[3] = std::to_string(200 + rng->Index(800)) + "-555-" +
+                          std::to_string(1000 + rng->Index(9000));
+      break;
+    }
+  }
+  return sibling;
+}
+
+}  // namespace wym::data

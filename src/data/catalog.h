@@ -1,0 +1,56 @@
+#ifndef WYM_DATA_CATALOG_H_
+#define WYM_DATA_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "util/random.h"
+
+/// \file
+/// Canonical-entity catalogs for the five Magellan domains. A catalog
+/// entity is the clean ground-truth description; the benchmark generator
+/// derives the two source *views* of each record from it via the
+/// corruption model, and derives hard negatives via MakeSibling.
+
+namespace wym::data {
+
+/// The entity domains of the 12 benchmark datasets.
+enum class Domain {
+  kBibliographic,  ///< DBLP-GoogleScholar / DBLP-ACM.
+  kSoftware,       ///< Amazon-Google (software products).
+  kProduct,        ///< Walmart-Amazon / Abt-Buy (electronics).
+  kBeer,           ///< BeerAdvo-RateBeer.
+  kSong,           ///< iTunes-Amazon.
+  kRestaurant,     ///< Fodors-Zagats.
+};
+
+/// One clean catalog entry.
+struct CatalogEntity {
+  /// Canonical attribute values, aligned to the domain schema.
+  std::vector<std::string> values;
+  /// Grouping key for hard-negative sampling (brand / venue / city index):
+  /// siblings keep the group, which plants shared tokens in non-matching
+  /// records (challenge R1).
+  size_t group = 0;
+};
+
+/// Schema of a domain ("title, authors, venue, year" etc.).
+Schema DomainSchema(Domain domain);
+
+/// Index of the attribute that carries the distinguishing identity token
+/// (model code / title / name). Sibling generation always mutates it.
+size_t IdentityAttribute(Domain domain);
+
+/// Generates `n` clean entities for the domain.
+std::vector<CatalogEntity> GenerateCatalog(Domain domain, size_t n, Rng* rng);
+
+/// Derives a *different* real-world entity that is deliberately confusable
+/// with `entity`: same group (brand/venue/city), overlapping descriptive
+/// tokens, but a distinct identity (model code, title core, name).
+CatalogEntity MakeSibling(Domain domain, const CatalogEntity& entity,
+                          Rng* rng);
+
+}  // namespace wym::data
+
+#endif  // WYM_DATA_CATALOG_H_

@@ -1,0 +1,150 @@
+#include "data/corruption.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/word_pools.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wym::data {
+
+namespace {
+
+/// True for values like "37.63" or "2007" that should get numeric jitter
+/// rather than textual noise.
+bool IsNumericValue(const std::string& value) {
+  if (value.empty()) return false;
+  bool has_digit = false;
+  int dots = 0;
+  for (char c : value) {
+    if (c >= '0' && c <= '9') {
+      has_digit = true;
+    } else if (c == '.') {
+      ++dots;
+    } else {
+      return false;
+    }
+  }
+  return has_digit && dots <= 1;
+}
+
+std::string JitterNumeric(const std::string& value, double relative,
+                          Rng* rng) {
+  const double parsed = std::strtod(value.c_str(), nullptr);
+  const bool had_decimals = value.find('.') != std::string::npos;
+  // Year-like integers drift by at most one (publication years disagree
+  // across bibliographic sources by one, not by 15%).
+  if (!had_decimals && parsed >= 1900 && parsed <= 2100) {
+    const long long year =
+        std::llround(parsed) + (rng->Bernoulli(0.5) ? 1 : -1);
+    return std::to_string(year);
+  }
+  const double jittered =
+      parsed * (1.0 + rng->Uniform(-relative, relative));
+  return had_decimals ? strings::FormatDouble(jittered, 2)
+                      : std::to_string(static_cast<long long>(
+                            std::llround(jittered)));
+}
+
+}  // namespace
+
+std::string ApplyTypo(const std::string& token, Rng* rng) {
+  if (token.empty()) return token;
+  std::string out = token;
+  static constexpr std::string_view kAlphabet =
+      "abcdefghijklmnopqrstuvwxyz";
+  const size_t pos = rng->Index(out.size());
+  switch (rng->Index(4)) {
+    case 0:  // Substitute.
+      out[pos] = kAlphabet[rng->Index(kAlphabet.size())];
+      break;
+    case 1:  // Delete (keep at least one char).
+      if (out.size() > 1) out.erase(pos, 1);
+      break;
+    case 2:  // Transpose with the next char.
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+    case 3:  // Insert.
+      out.insert(out.begin() + static_cast<long>(pos),
+                 kAlphabet[rng->Index(kAlphabet.size())]);
+      break;
+  }
+  return out;
+}
+
+Entity CorruptEntity(const Entity& entity, const Schema& schema,
+                     const CorruptionProfile& profile, Rng* rng) {
+  WYM_CHECK_EQ(entity.values.size(), schema.size());
+  Entity view = entity;
+
+  // Dirty spill: move one non-identity value into attribute 0.
+  if (profile.attr_spill > 0.0) {
+    for (size_t a = 1; a < view.values.size(); ++a) {
+      if (view.values[a].empty()) continue;
+      if (!rng->Bernoulli(profile.attr_spill)) continue;
+      if (!view.values[0].empty()) view.values[0] += " ";
+      view.values[0] += view.values[a];
+      view.values[a].clear();
+    }
+  }
+
+  for (size_t a = 0; a < view.values.size(); ++a) {
+    std::string& value = view.values[a];
+    if (value.empty()) continue;
+
+    // Whole-value dropout never hits the identity attribute (attribute 0):
+    // real sources omit prices or brands, not the product name / title.
+    if (a > 0 && rng->Bernoulli(profile.value_missing)) {
+      value.clear();
+      continue;
+    }
+
+    if (IsNumericValue(value)) {
+      if (rng->Bernoulli(0.8)) {
+        value = JitterNumeric(value, profile.numeric_jitter, rng);
+      }
+      continue;
+    }
+
+    // Whole-value synonym (venue long forms).
+    if (rng->Bernoulli(profile.synonym)) {
+      const std::string_view long_form = pools::VenueLongForm(value);
+      if (!long_form.empty()) {
+        value = std::string(long_form);
+        continue;
+      }
+    }
+
+    std::vector<std::string> tokens = strings::SplitWhitespace(value);
+    std::vector<std::string> out_tokens;
+    out_tokens.reserve(tokens.size());
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      std::string token = tokens[t];
+      // Drop (never empty the attribute entirely).
+      if (tokens.size() > 1 && out_tokens.size() + (tokens.size() - t) > 1 &&
+          rng->Bernoulli(profile.drop_token)) {
+        continue;
+      }
+      if (rng->Bernoulli(profile.abbreviate)) {
+        const std::string_view abbreviation = pools::AbbreviationOf(token);
+        if (!abbreviation.empty()) token = std::string(abbreviation);
+      }
+      if (rng->Bernoulli(profile.typo)) token = ApplyTypo(token, rng);
+      out_tokens.push_back(token);
+      if (rng->Bernoulli(profile.duplicate_token)) {
+        out_tokens.push_back(token);
+      }
+    }
+    if (out_tokens.empty()) out_tokens.push_back(tokens.front());
+
+    if (out_tokens.size() > 1 && rng->Bernoulli(profile.reorder)) {
+      const size_t pos = rng->Index(out_tokens.size() - 1);
+      std::swap(out_tokens[pos], out_tokens[pos + 1]);
+    }
+    value = strings::Join(out_tokens, " ");
+  }
+  return view;
+}
+
+}  // namespace wym::data

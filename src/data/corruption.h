@@ -1,0 +1,57 @@
+#ifndef WYM_DATA_CORRUPTION_H_
+#define WYM_DATA_CORRUPTION_H_
+
+#include "data/record.h"
+#include "util/random.h"
+
+/// \file
+/// The source-view corruption model. Each EM record's two descriptions
+/// are independent noisy *views* of (possibly different) catalog
+/// entities; this module produces those views. The knobs reproduce the
+/// heterogeneity the Magellan datasets exhibit: typos, token drops,
+/// abbreviations ("exchange" -> "exch"), word reordering, numeric jitter
+/// (prices differ across shops), missing values, venue periphrasis, and —
+/// for the *dirty* dataset variants — values leaking into the wrong
+/// attribute (challenge R2).
+
+namespace wym::data {
+
+/// Per-view corruption probabilities. All default to a mild profile;
+/// dataset specs override them to set dataset difficulty.
+struct CorruptionProfile {
+  /// Per-token probability of a single-character edit.
+  double typo = 0.02;
+  /// Per-token probability of deletion (never deletes the last token).
+  double drop_token = 0.04;
+  /// Per-token probability of replacement with its known abbreviation.
+  double abbreviate = 0.10;
+  /// Per-token probability of being duplicated in place.
+  double duplicate_token = 0.01;
+  /// Per-attribute probability of swapping two adjacent tokens.
+  double reorder = 0.10;
+  /// Per-attribute probability of the whole value going missing.
+  double value_missing = 0.02;
+  /// Relative jitter applied to numeric values (prices differ per shop).
+  double numeric_jitter = 0.15;
+  /// Probability of replacing a value with its long-form synonym
+  /// (venue names).
+  double synonym = 0.10;
+  /// Dirty variants: probability of an attribute value being moved into
+  /// the identity attribute (value ends up concatenated there, original
+  /// attribute emptied).
+  double attr_spill = 0.0;
+};
+
+/// Applies the profile to every attribute of `entity`, returning the view.
+/// `schema` is used only for sizing checks; corruption decisions come from
+/// `rng`, so two calls produce two independent views.
+Entity CorruptEntity(const Entity& entity, const Schema& schema,
+                     const CorruptionProfile& profile, Rng* rng);
+
+/// Applies a single-character edit (substitute / delete / transpose /
+/// insert) to a token. Exposed for tests.
+std::string ApplyTypo(const std::string& token, Rng* rng);
+
+}  // namespace wym::data
+
+#endif  // WYM_DATA_CORRUPTION_H_

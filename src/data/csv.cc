@@ -1,0 +1,165 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace wym::data {
+
+namespace {
+
+/// RFC-4180 quoting: wrap in quotes when the field contains a comma,
+/// quote or newline; double embedded quotes.
+std::string QuoteField(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV line honoring quotes. Returns false on unbalanced quotes.
+bool ParseCsvLine(const std::string& line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF.
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(current));
+  return true;
+}
+
+}  // namespace
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  std::ostringstream out;
+  out << "label";
+  for (const auto& attr : dataset.schema.attributes) {
+    out << ",left_" << attr;
+  }
+  for (const auto& attr : dataset.schema.attributes) {
+    out << ",right_" << attr;
+  }
+  out << "\n";
+  for (const auto& record : dataset.records) {
+    out << record.label;
+    for (const auto& value : record.left.values) {
+      out << ',' << QuoteField(value);
+    }
+    for (const auto& value : record.right.values) {
+      out << ',' << QuoteField(value);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<Dataset> DatasetFromCsv(const std::string& csv,
+                               const std::string& name) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV");
+  }
+  std::vector<std::string> header;
+  if (!ParseCsvLine(line, &header)) {
+    return Status::Corruption("unbalanced quotes in header");
+  }
+  if (header.empty() || header[0] != "label") {
+    return Status::InvalidArgument("first CSV column must be 'label'");
+  }
+  const size_t pair_columns = header.size() - 1;
+  if (pair_columns == 0 || pair_columns % 2 != 0) {
+    return Status::InvalidArgument(
+        "CSV must have an equal number of left_/right_ columns");
+  }
+  const size_t width = pair_columns / 2;
+
+  Dataset dataset;
+  dataset.name = name;
+  for (size_t j = 0; j < width; ++j) {
+    const std::string& left_name = header[1 + j];
+    const std::string& right_name = header[1 + width + j];
+    if (!strings::StartsWith(left_name, "left_") ||
+        !strings::StartsWith(right_name, "right_") ||
+        left_name.substr(5) != right_name.substr(6)) {
+      return Status::InvalidArgument("misaligned left_/right_ columns at " +
+                                     left_name);
+    }
+    dataset.schema.attributes.push_back(left_name.substr(5));
+  }
+
+  size_t line_number = 1;
+  std::vector<std::string> fields;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (!ParseCsvLine(line, &fields)) {
+      return Status::Corruption("unbalanced quotes at line " +
+                                std::to_string(line_number));
+    }
+    if (fields.size() != header.size()) {
+      return Status::Corruption("wrong field count at line " +
+                                std::to_string(line_number));
+    }
+    EmRecord record;
+    if (fields[0] == "1") {
+      record.label = 1;
+    } else if (fields[0] == "0") {
+      record.label = 0;
+    } else {
+      return Status::Corruption("label must be 0/1 at line " +
+                                std::to_string(line_number));
+    }
+    record.left.values.assign(fields.begin() + 1, fields.begin() + 1 + width);
+    record.right.values.assign(fields.begin() + 1 + width, fields.end());
+    dataset.records.push_back(std::move(record));
+  }
+  return dataset;
+}
+
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << DatasetToCsv(dataset);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> ReadDatasetCsv(const std::string& path,
+                               const std::string& name) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DatasetFromCsv(buffer.str(), name);
+}
+
+}  // namespace wym::data

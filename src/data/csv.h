@@ -1,0 +1,32 @@
+#ifndef WYM_DATA_CSV_H_
+#define WYM_DATA_CSV_H_
+
+#include <string>
+
+#include "data/record.h"
+#include "util/status.h"
+
+/// \file
+/// CSV persistence for EM datasets in the Magellan pair layout:
+/// `label,left_<attr1>,...,left_<attrM>,right_<attr1>,...,right_<attrM>`
+/// with RFC-4180 quoting. Lets users run the pipeline on their own data
+/// and lets the benches cache generated datasets.
+
+namespace wym::data {
+
+/// Serializes a dataset (header + one row per record).
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Parses DatasetToCsv output. The dataset name is taken from `name`.
+/// Fails with InvalidArgument/Corruption on malformed headers or rows.
+Result<Dataset> DatasetFromCsv(const std::string& csv,
+                               const std::string& name);
+
+/// File round-trip helpers.
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
+Result<Dataset> ReadDatasetCsv(const std::string& path,
+                               const std::string& name);
+
+}  // namespace wym::data
+
+#endif  // WYM_DATA_CSV_H_

@@ -1,0 +1,39 @@
+#include "data/record.h"
+
+#include "util/logging.h"
+
+namespace wym::data {
+
+size_t Dataset::MatchCount() const {
+  size_t count = 0;
+  for (const auto& record : records) count += record.label == 1;
+  return count;
+}
+
+double Dataset::MatchPercent() const {
+  if (records.empty()) return 0.0;
+  return 100.0 * static_cast<double>(MatchCount()) /
+         static_cast<double>(records.size());
+}
+
+std::vector<int> Dataset::Labels() const {
+  std::vector<int> labels;
+  labels.reserve(records.size());
+  for (const auto& record : records) labels.push_back(record.label);
+  return labels;
+}
+
+Dataset Subset(const Dataset& dataset, const std::vector<size_t>& indices,
+               const std::string& suffix) {
+  Dataset out;
+  out.name = dataset.name + suffix;
+  out.schema = dataset.schema;
+  out.records.reserve(indices.size());
+  for (size_t idx : indices) {
+    WYM_CHECK_LT(idx, dataset.records.size());
+    out.records.push_back(dataset.records[idx]);
+  }
+  return out;
+}
+
+}  // namespace wym::data

@@ -1,0 +1,58 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace wym::data {
+
+Split TrainValTestSplit(const Dataset& dataset, double train_fraction,
+                        double validation_fraction, uint64_t seed) {
+  WYM_CHECK_GE(train_fraction, 0.0);
+  WYM_CHECK_GE(validation_fraction, 0.0);
+  WYM_CHECK_LE(train_fraction + validation_fraction, 1.0 + 1e-9);
+
+  // Stratify: shuffle positives and negatives independently, then cut
+  // each class with the same fractions.
+  std::vector<size_t> positive, negative;
+  for (size_t i = 0; i < dataset.records.size(); ++i) {
+    (dataset.records[i].label == 1 ? positive : negative).push_back(i);
+  }
+  Rng rng(seed);
+  rng.Shuffle(&positive);
+  rng.Shuffle(&negative);
+
+  std::vector<size_t> train_idx, val_idx, test_idx;
+  auto cut = [&](const std::vector<size_t>& pool) {
+    const size_t n = pool.size();
+    const size_t n_train = static_cast<size_t>(train_fraction * n + 0.5);
+    const size_t n_val = std::min(
+        n - n_train,
+        static_cast<size_t>(validation_fraction * n + 0.5));
+    for (size_t i = 0; i < n; ++i) {
+      if (i < n_train) {
+        train_idx.push_back(pool[i]);
+      } else if (i < n_train + n_val) {
+        val_idx.push_back(pool[i]);
+      } else {
+        test_idx.push_back(pool[i]);
+      }
+    }
+  };
+  cut(positive);
+  cut(negative);
+
+  // Keep original record order inside each partition (stable pipelines).
+  std::sort(train_idx.begin(), train_idx.end());
+  std::sort(val_idx.begin(), val_idx.end());
+  std::sort(test_idx.begin(), test_idx.end());
+
+  Split split;
+  split.train = Subset(dataset, train_idx, "/train");
+  split.validation = Subset(dataset, val_idx, "/val");
+  split.test = Subset(dataset, test_idx, "/test");
+  return split;
+}
+
+}  // namespace wym::data

@@ -1,0 +1,35 @@
+#ifndef WYM_DATA_SPLIT_H_
+#define WYM_DATA_SPLIT_H_
+
+#include <cstdint>
+
+#include "data/record.h"
+
+/// \file
+/// Stratified train/validation/test splitting. The paper evaluates every
+/// dataset with 60-20-20 proportions (§5, Datasets).
+
+namespace wym::data {
+
+/// The three partitions of a dataset.
+struct Split {
+  Dataset train;
+  Dataset validation;
+  Dataset test;
+};
+
+/// Splits `dataset` into train/validation/test with the given fractions
+/// (must sum to <= 1; the remainder goes to test). Stratifies on the
+/// label so each partition keeps the dataset's match rate. Deterministic
+/// for a fixed seed.
+Split TrainValTestSplit(const Dataset& dataset, double train_fraction,
+                        double validation_fraction, uint64_t seed);
+
+/// The paper's default 60-20-20 split.
+inline Split DefaultSplit(const Dataset& dataset, uint64_t seed) {
+  return TrainValTestSplit(dataset, 0.6, 0.2, seed);
+}
+
+}  // namespace wym::data
+
+#endif  // WYM_DATA_SPLIT_H_

@@ -1,0 +1,110 @@
+#include "data/statistics.h"
+
+#include <set>
+#include <sstream>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace wym::data {
+
+namespace {
+
+double Jaccard(const std::set<std::string>& a,
+               const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t shared = 0;
+  for (const auto& token : a) shared += b.count(token);
+  const size_t unioned = a.size() + b.size() - shared;
+  return unioned == 0 ? 1.0
+                      : static_cast<double>(shared) /
+                            static_cast<double>(unioned);
+}
+
+}  // namespace
+
+DatasetProfile ProfileDataset(const Dataset& dataset) {
+  const text::Tokenizer tokenizer;
+  DatasetProfile profile;
+  profile.records = dataset.size();
+  profile.matches = dataset.MatchCount();
+  profile.match_percent = dataset.MatchPercent();
+  profile.attributes.assign(dataset.schema.size(), AttributeProfile{});
+
+  std::vector<size_t> value_count(dataset.schema.size(), 0);
+  std::vector<size_t> match_count(dataset.schema.size(), 0);
+  std::vector<size_t> non_match_count(dataset.schema.size(), 0);
+  for (size_t a = 0; a < dataset.schema.size(); ++a) {
+    profile.attributes[a].name = dataset.schema.attributes[a];
+  }
+
+  for (const auto& record : dataset.records) {
+    for (size_t a = 0; a < dataset.schema.size(); ++a) {
+      AttributeProfile& attr = profile.attributes[a];
+      const std::string& left = record.left.values[a];
+      const std::string& right = record.right.values[a];
+      if (left.empty() || right.empty()) {
+        attr.missing_rate += 1.0;
+      }
+      const auto lt = tokenizer.Tokenize(left);
+      const auto rt = tokenizer.Tokenize(right);
+      if (!lt.empty()) {
+        attr.mean_tokens += static_cast<double>(lt.size());
+        ++value_count[a];
+      }
+      if (!rt.empty()) {
+        attr.mean_tokens += static_cast<double>(rt.size());
+        ++value_count[a];
+      }
+      const double overlap =
+          Jaccard({lt.begin(), lt.end()}, {rt.begin(), rt.end()});
+      if (record.label == 1) {
+        attr.match_overlap += overlap;
+        ++match_count[a];
+      } else {
+        attr.non_match_overlap += overlap;
+        ++non_match_count[a];
+      }
+    }
+  }
+
+  for (size_t a = 0; a < profile.attributes.size(); ++a) {
+    AttributeProfile& attr = profile.attributes[a];
+    if (profile.records > 0) {
+      attr.missing_rate /= static_cast<double>(profile.records);
+    }
+    if (value_count[a] > 0) {
+      attr.mean_tokens /= static_cast<double>(value_count[a]);
+    }
+    if (match_count[a] > 0) {
+      attr.match_overlap /= static_cast<double>(match_count[a]);
+    }
+    if (non_match_count[a] > 0) {
+      attr.non_match_overlap /= static_cast<double>(non_match_count[a]);
+    }
+    attr.overlap_gap = attr.match_overlap - attr.non_match_overlap;
+  }
+  return profile;
+}
+
+std::string RenderProfile(const DatasetProfile& profile) {
+  std::ostringstream out;
+  out << profile.records << " records, " << profile.matches << " matches ("
+      << strings::FormatDouble(profile.match_percent, 1) << "%)\n";
+  TablePrinter table({"attribute", "missing %", "tokens/value",
+                      "overlap(match)", "overlap(non)", "gap"});
+  for (const auto& attr : profile.attributes) {
+    table.AddRow({attr.name,
+                  strings::FormatDouble(100.0 * attr.missing_rate, 1),
+                  strings::FormatDouble(attr.mean_tokens, 1),
+                  strings::FormatDouble(attr.match_overlap, 3),
+                  strings::FormatDouble(attr.non_match_overlap, 3),
+                  strings::FormatDouble(attr.overlap_gap, 3)});
+  }
+  out << table.ToString();
+  return out.str();
+}
+
+}  // namespace wym::data

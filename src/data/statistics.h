@@ -1,0 +1,49 @@
+#ifndef WYM_DATA_STATISTICS_H_
+#define WYM_DATA_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+
+/// \file
+/// Dataset profiling: per-attribute quality statistics (missing rates,
+/// token counts, cross-description token overlap split by label). Used
+/// by `wym_cli profile` and useful before training to judge which
+/// attributes carry signal — the same statistics the paper reads off
+/// Table 2 and Figure 4.
+
+namespace wym::data {
+
+/// Per-attribute profile.
+struct AttributeProfile {
+  std::string name;
+  /// Fraction of records where the value is empty on either side.
+  double missing_rate = 0.0;
+  /// Mean tokens per (non-empty) value.
+  double mean_tokens = 0.0;
+  /// Mean token Jaccard between the two descriptions, matching records.
+  double match_overlap = 0.0;
+  /// Same for non-matching records.
+  double non_match_overlap = 0.0;
+  /// match_overlap - non_match_overlap: a quick signal-strength proxy.
+  double overlap_gap = 0.0;
+};
+
+/// Whole-dataset profile.
+struct DatasetProfile {
+  size_t records = 0;
+  size_t matches = 0;
+  double match_percent = 0.0;
+  std::vector<AttributeProfile> attributes;
+};
+
+/// Computes the profile (tokenization follows the pipeline's tokenizer).
+DatasetProfile ProfileDataset(const Dataset& dataset);
+
+/// Renders the profile as an aligned text table.
+std::string RenderProfile(const DatasetProfile& profile);
+
+}  // namespace wym::data
+
+#endif  // WYM_DATA_STATISTICS_H_

@@ -1,0 +1,238 @@
+#include "data/word_pools.h"
+
+#include <array>
+
+namespace wym::data::pools {
+
+namespace {
+
+constexpr std::array<std::string_view, 48> kFirstNames = {
+    "james",  "mary",    "robert",  "patricia", "john",    "jennifer",
+    "michael", "linda",  "david",   "elizabeth", "william", "barbara",
+    "richard", "susan",  "joseph",  "jessica",  "thomas",  "sarah",
+    "carlos",  "karen",  "daniel",  "nancy",    "matthew", "lisa",
+    "anthony", "betty",  "marco",   "sandra",   "paolo",   "ashley",
+    "andrea",  "laura",  "stefan",  "emily",    "wei",     "mei",
+    "hiroshi", "yuki",   "rajesh",  "priya",    "olga",    "elena",
+    "pierre",  "claire", "hans",    "greta",    "diego",   "lucia"};
+
+constexpr std::array<std::string_view, 48> kLastNames = {
+    "smith",    "johnson",  "williams", "brown",    "jones",   "garcia",
+    "miller",   "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson",   "anderson", "thomas",   "taylor",  "moore",
+    "jackson",  "martin",   "lee",      "perez",    "thompson", "white",
+    "harris",   "sanchez",  "clark",    "ramirez",  "lewis",   "robinson",
+    "walker",   "young",    "allen",    "king",     "wright",  "scott",
+    "torres",   "nguyen",   "hill",     "flores",   "green",   "adams",
+    "nelson",   "baker",    "hall",     "rivera",   "campbell", "mitchell"};
+
+constexpr std::array<std::string_view, 56> kResearchTopics = {
+    "query",       "optimization", "database",    "indexing",
+    "transaction", "concurrency",  "distributed", "parallel",
+    "stream",      "processing",   "mining",      "clustering",
+    "classification", "learning",  "neural",      "networks",
+    "semantic",    "integration",  "schema",      "matching",
+    "entity",      "resolution",   "deduplication", "linkage",
+    "knowledge",   "graphs",       "embedding",   "retrieval",
+    "ranking",     "recommendation", "privacy",   "security",
+    "crowdsourcing", "provenance",  "workflow",   "storage",
+    "compression", "sampling",     "approximate", "aggregation",
+    "spatial",     "temporal",     "probabilistic", "uncertain",
+    "relational",  "nosql",        "benchmark",   "evaluation",
+    "scalable",    "efficient",    "adaptive",    "incremental",
+    "federated",   "cloud",        "memory",      "hardware"};
+
+constexpr std::array<std::string_view, 20> kResearchQualifiers = {
+    "novel",     "effective", "robust",     "practical", "unified",
+    "general",   "fast",      "interactive", "automatic", "hybrid",
+    "online",    "dynamic",   "flexible",   "modular",   "principled",
+    "lightweight", "end-to-end", "holistic", "declarative", "cost-based"};
+
+constexpr std::array<std::string_view, 14> kVenues = {
+    "sigmod", "vldb",  "icde",  "edbt",  "kdd",   "cikm",  "www",
+    "sigir",  "icml",  "nips",  "aaai",  "acl",   "tkde",  "pods"};
+
+constexpr std::array<std::string_view, 40> kProductCategories = {
+    "camera",    "laptop",    "printer",  "monitor",  "keyboard",
+    "speaker",   "headphones", "router",  "tablet",   "phone",
+    "projector", "scanner",   "microphone", "webcam", "charger",
+    "adapter",   "cable",     "battery",  "drive",    "memory",
+    "software",  "antivirus", "suite",    "server",   "license",
+    "toner",     "cartridge", "lens",     "tripod",   "flash",
+    "case",      "bag",       "stand",    "mount",    "dock",
+    "hub",       "switch",    "modem",    "console",  "controller"};
+
+constexpr std::array<std::string_view, 24> kProductAdjectives = {
+    "digital",  "wireless", "portable", "compact",     "professional",
+    "premium",  "ultra",    "slim",     "external",    "internal",
+    "optical",  "thermal",  "laser",    "inkjet",      "bluetooth",
+    "ergonomic", "gaming",  "business", "home",        "advanced",
+    "standard", "deluxe",   "classic",  "rechargeable"};
+
+constexpr std::array<std::string_view, 28> kBrands = {
+    "sony",      "canon",   "nikon",    "microsoft", "apple",
+    "samsung",   "logitech", "epson",   "brother",   "lenovo",
+    "dell",      "asus",    "acer",     "panasonic", "toshiba",
+    "philips",   "lg",      "netgear",  "linksys",   "kingston",
+    "sandisk",   "seagate", "adobe",    "symantec",  "mcafee",
+    "intuit",    "corel",   "belkin"};
+
+constexpr std::array<std::string_view, 10> kProductUnits = {
+    "gb", "tb", "mb", "inch", "mp", "ghz", "watt", "dpi", "mah", "pack"};
+
+constexpr std::array<std::string_view, 20> kBeerStyles = {
+    "ipa",    "stout",   "porter", "lager",   "pilsner",
+    "ale",    "saison",  "wheat",  "dubbel",  "tripel",
+    "amber",  "brown",   "pale",   "imperial", "barleywine",
+    "kolsch", "bock",    "gose",   "lambic",  "dunkel"};
+
+constexpr std::array<std::string_view, 24> kBeerAdjectives = {
+    "hoppy",   "roasted", "golden",  "dark",    "smoked",
+    "barrel",  "aged",    "sour",    "crisp",   "velvet",
+    "midnight", "harvest", "winter", "summer",  "wild",
+    "old",     "double",  "single",  "grand",   "rustic",
+    "noble",   "cosmic",  "raging",  "lazy"};
+
+constexpr std::array<std::string_view, 20> kBreweryNouns = {
+    "creek",    "mountain", "river",   "valley",  "harbor",
+    "anchor",   "eagle",    "fox",     "bear",    "wolf",
+    "mill",     "forge",    "stone",   "oak",     "cedar",
+    "lighthouse", "prairie", "canyon", "summit",  "meadow"};
+
+constexpr std::array<std::string_view, 28> kSongNouns = {
+    "love",   "night",  "heart",  "dream",   "fire",
+    "rain",   "summer", "road",   "river",   "sky",
+    "dance",  "light",  "shadow", "memory",  "story",
+    "ocean",  "city",   "train",  "freedom", "home",
+    "moon",   "star",   "wind",   "thunder", "angel",
+    "ghost",  "mirror", "echo"};
+
+constexpr std::array<std::string_view, 20> kSongAdjectives = {
+    "blue",   "wild",    "broken", "golden", "lonely",
+    "sweet",  "crazy",   "silent", "endless", "burning",
+    "lost",   "fading",  "bright", "heavy",  "tender",
+    "restless", "distant", "hollow", "electric", "velvet"};
+
+constexpr std::array<std::string_view, 14> kGenres = {
+    "rock",  "pop",    "jazz",   "blues",   "country", "folk", "metal",
+    "indie", "hip-hop", "electronic", "classical", "soul", "reggae", "punk"};
+
+constexpr std::array<std::string_view, 20> kCuisines = {
+    "italian",  "french",   "chinese",  "japanese", "mexican",
+    "thai",     "indian",   "greek",    "spanish",  "korean",
+    "american", "cajun",    "seafood",  "steakhouse", "vegetarian",
+    "mediterranean", "vietnamese", "bbq", "fusion", "continental"};
+
+constexpr std::array<std::string_view, 20> kRestaurantNouns = {
+    "garden",  "palace",  "kitchen", "bistro",  "grill",
+    "tavern",  "corner",  "house",   "table",   "terrace",
+    "olive",   "dragon",  "lotus",   "sunset",  "harvest",
+    "copper",  "willow",  "saffron", "basil",   "ember"};
+
+constexpr std::array<std::string_view, 24> kCities = {
+    "new york",     "los angeles", "chicago",  "houston",  "phoenix",
+    "philadelphia", "san antonio", "san diego", "dallas",  "austin",
+    "seattle",      "denver",      "boston",   "portland", "atlanta",
+    "miami",        "oakland",     "memphis",  "baltimore", "tucson",
+    "fresno",       "mesa",        "omaha",    "raleigh"};
+
+constexpr std::array<std::string_view, 20> kStreetNames = {
+    "main",    "oak",     "maple",   "cedar",    "pine",
+    "elm",     "washington", "lake", "hill",     "park",
+    "sunset",  "river",   "church",  "market",   "union",
+    "broadway", "highland", "franklin", "jefferson", "madison"};
+
+constexpr std::array<std::string_view, 32> kDescriptionFillers = {
+    "features",   "includes",  "designed",  "perfect",   "ideal",
+    "quality",    "durable",   "easy",      "use",       "provides",
+    "delivers",   "offers",    "built",     "great",     "performance",
+    "reliable",   "versatile", "convenient", "stylish",  "powerful",
+    "lightweight", "warranty", "compatible", "supports", "technology",
+    "innovative", "comfort",   "value",     "everyday",  "superior",
+    "enhanced",   "seamless"};
+
+struct AbbreviationEntry {
+  std::string_view long_form;
+  std::string_view short_form;
+};
+
+constexpr std::array<AbbreviationEntry, 30> kAbbreviations = {{
+    {"proceedings", "proc"},   {"international", "intl"},
+    {"conference", "conf"},    {"journal", "jrnl"},
+    {"database", "db"},        {"databases", "dbs"},
+    {"management", "mgmt"},    {"system", "sys"},
+    {"systems", "sys"},        {"optimization", "optim"},
+    {"distributed", "distr"},  {"professional", "pro"},
+    {"deluxe", "dlx"},         {"standard", "std"},
+    {"wireless", "wless"},     {"external", "ext"},
+    {"internal", "int"},       {"exchange", "exch"},
+    {"server", "svr"},         {"software", "sw"},
+    {"microphone", "mic"},     {"keyboard", "kbd"},
+    {"memory", "mem"},         {"battery", "batt"},
+    {"department", "dept"},    {"street", "st"},
+    {"avenue", "ave"},         {"boulevard", "blvd"},
+    {"restaurant", "rest"},    {"imperial", "imp"},
+}};
+
+struct VenueLongFormEntry {
+  std::string_view venue;
+  std::string_view long_form;
+};
+
+constexpr std::array<VenueLongFormEntry, 6> kVenueLongForms = {{
+    {"vldb", "very large data bases"},
+    {"sigmod", "management of data"},
+    {"icde", "data engineering"},
+    {"edbt", "extending database technology"},
+    {"kdd", "knowledge discovery and data mining"},
+    {"cikm", "information and knowledge management"},
+}};
+
+}  // namespace
+
+std::span<const std::string_view> FirstNames() { return kFirstNames; }
+std::span<const std::string_view> LastNames() { return kLastNames; }
+std::span<const std::string_view> ResearchTopics() { return kResearchTopics; }
+std::span<const std::string_view> ResearchQualifiers() {
+  return kResearchQualifiers;
+}
+std::span<const std::string_view> Venues() { return kVenues; }
+std::span<const std::string_view> ProductCategories() {
+  return kProductCategories;
+}
+std::span<const std::string_view> ProductAdjectives() {
+  return kProductAdjectives;
+}
+std::span<const std::string_view> Brands() { return kBrands; }
+std::span<const std::string_view> ProductUnits() { return kProductUnits; }
+std::span<const std::string_view> BeerStyles() { return kBeerStyles; }
+std::span<const std::string_view> BeerAdjectives() { return kBeerAdjectives; }
+std::span<const std::string_view> BreweryNouns() { return kBreweryNouns; }
+std::span<const std::string_view> SongNouns() { return kSongNouns; }
+std::span<const std::string_view> SongAdjectives() { return kSongAdjectives; }
+std::span<const std::string_view> Genres() { return kGenres; }
+std::span<const std::string_view> Cuisines() { return kCuisines; }
+std::span<const std::string_view> RestaurantNouns() {
+  return kRestaurantNouns;
+}
+std::span<const std::string_view> Cities() { return kCities; }
+std::span<const std::string_view> StreetNames() { return kStreetNames; }
+std::span<const std::string_view> DescriptionFillers() {
+  return kDescriptionFillers;
+}
+
+std::string_view AbbreviationOf(std::string_view word) {
+  for (const auto& entry : kAbbreviations) {
+    if (entry.long_form == word) return entry.short_form;
+  }
+  return {};
+}
+
+std::string_view VenueLongForm(std::string_view venue) {
+  for (const auto& entry : kVenueLongForms) {
+    if (entry.venue == venue) return entry.long_form;
+  }
+  return {};
+}
+
+}  // namespace wym::data::pools

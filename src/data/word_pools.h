@@ -1,0 +1,57 @@
+#ifndef WYM_DATA_WORD_POOLS_H_
+#define WYM_DATA_WORD_POOLS_H_
+
+#include <span>
+#include <string_view>
+
+/// \file
+/// Static word pools backing the synthetic catalog generators. Using
+/// fixed, realistic vocabularies (instead of random strings) matters: the
+/// decision-unit pipeline relies on tokens recurring across records (brand
+/// names shared by non-matching products — challenge R1 — venue names,
+/// cities, ...), exactly as in the Magellan datasets.
+
+namespace wym::data::pools {
+
+std::span<const std::string_view> FirstNames();
+std::span<const std::string_view> LastNames();
+
+/// Research-paper topic vocabulary (bibliographic titles).
+std::span<const std::string_view> ResearchTopics();
+std::span<const std::string_view> ResearchQualifiers();
+std::span<const std::string_view> Venues();
+/// Long-form synonyms for venues ("very large data bases" for "vldb").
+std::string_view VenueLongForm(std::string_view venue);
+
+/// Consumer-product vocabulary.
+std::span<const std::string_view> ProductCategories();
+std::span<const std::string_view> ProductAdjectives();
+std::span<const std::string_view> Brands();
+std::span<const std::string_view> ProductUnits();
+
+/// Beer vocabulary.
+std::span<const std::string_view> BeerStyles();
+std::span<const std::string_view> BeerAdjectives();
+std::span<const std::string_view> BreweryNouns();
+
+/// Music vocabulary.
+std::span<const std::string_view> SongNouns();
+std::span<const std::string_view> SongAdjectives();
+std::span<const std::string_view> Genres();
+
+/// Restaurant vocabulary.
+std::span<const std::string_view> Cuisines();
+std::span<const std::string_view> RestaurantNouns();
+std::span<const std::string_view> Cities();
+std::span<const std::string_view> StreetNames();
+
+/// Filler words for long textual descriptions (the T-AB periphrasis).
+std::span<const std::string_view> DescriptionFillers();
+
+/// Abbreviation table used by the corruption model: returns the short
+/// form of a word ("proceedings" -> "proc") or empty when none exists.
+std::string_view AbbreviationOf(std::string_view word);
+
+}  // namespace wym::data::pools
+
+#endif  // WYM_DATA_WORD_POOLS_H_

@@ -1,0 +1,47 @@
+#include "embedding/context_mixer.h"
+
+#include <cmath>
+
+namespace wym::embedding {
+
+ContextMixer::ContextMixer(Options options) : options_(options) {}
+
+std::vector<la::Vec> ContextMixer::Mix(const std::vector<la::Vec>& base) const {
+  if (base.size() < 2 || options_.blend <= 0.0) return base;
+
+  // Precompute pairwise cosine similarities.
+  const size_t n = base.size();
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      sim[i][j] = sim[j][i] = la::Cosine(base[i], base[j]);
+    }
+  }
+
+  std::vector<la::Vec> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Softmax attention over the other tokens.
+    double max_sim = -2.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) max_sim = std::max(max_sim, sim[i][j]);
+    }
+    la::Vec context = la::Zeros(base[i].size());
+    double z = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double a = std::exp((sim[i][j] - max_sim) / options_.temperature);
+      la::Axpy(a, base[j], &context);
+      z += a;
+    }
+    if (z > 0.0) la::Scale(1.0 / z, &context);
+
+    la::Vec mixed = base[i];
+    la::Scale(1.0 - options_.blend, &mixed);
+    la::Axpy(options_.blend, context, &mixed);
+    la::Normalize(&mixed);
+    out[i] = std::move(mixed);
+  }
+  return out;
+}
+
+}  // namespace wym::embedding

@@ -1,0 +1,42 @@
+#ifndef WYM_EMBEDDING_CONTEXT_MIXER_H_
+#define WYM_EMBEDDING_CONTEXT_MIXER_H_
+
+#include <vector>
+
+#include "la/vector_ops.h"
+
+/// \file
+/// Attention-like context mixing: every token's vector is blended with a
+/// softmax-weighted average of the other tokens in the same entity
+/// description. This is what makes the encoder *contextual* — the same
+/// token in two different descriptions gets two different vectors — which
+/// the paper obtains from BERT's hidden states (challenge R4).
+
+namespace wym::embedding {
+
+/// Options for ContextMixer.
+struct ContextMixerOptions {
+  /// Fraction of the context vector blended into each token (0 = off).
+  double blend = 0.3;
+  /// Softmax temperature over cosine similarities; lower = peakier.
+  double temperature = 0.25;
+};
+
+/// Stateless contextualization pass over one description's token vectors.
+class ContextMixer {
+ public:
+  using Options = ContextMixerOptions;
+
+  explicit ContextMixer(Options options = {});
+
+  /// Returns contextualized unit-norm vectors; `base` is unchanged.
+  /// A single-token description is returned as-is (no context exists).
+  std::vector<la::Vec> Mix(const std::vector<la::Vec>& base) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace wym::embedding
+
+#endif  // WYM_EMBEDDING_CONTEXT_MIXER_H_

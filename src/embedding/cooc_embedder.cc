@@ -1,0 +1,157 @@
+#include "embedding/cooc_embedder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "la/eigen.h"
+#include "la/sparse_matrix.h"
+#include "util/logging.h"
+
+namespace wym::embedding {
+
+CoocEmbedder::CoocEmbedder(Options options) : options_(options) {}
+
+void CoocEmbedder::Fit(const std::vector<std::vector<std::string>>& sentences) {
+  WYM_CHECK(!fitted_) << "CoocEmbedder::Fit called twice";
+
+  // Pass 1: vocabulary with counts.
+  for (const auto& sentence : sentences) {
+    for (const auto& token : sentence) vocab_.Add(token);
+  }
+
+  // Select kept vocabulary: frequent tokens, capped.
+  kept_id_.assign(vocab_.size(), -1);
+  std::vector<int32_t> kept;
+  for (int32_t id : vocab_.TopK(options_.max_vocab)) {
+    if (vocab_.CountOf(id) < options_.min_count) continue;
+    kept_id_[id] = static_cast<int32_t>(kept.size());
+    kept.push_back(id);
+  }
+  const size_t n = kept.size();
+  if (n == 0) {
+    fitted_ = true;
+    return;
+  }
+
+  // Pass 2: windowed co-occurrence counts (distance-discounted).
+  std::unordered_map<uint64_t, double> cooc;
+  std::vector<double> row_sum(n, 0.0);
+  double total = 0.0;
+  for (const auto& sentence : sentences) {
+    std::vector<int32_t> ids;
+    ids.reserve(sentence.size());
+    for (const auto& token : sentence) {
+      const int32_t vid = vocab_.IdOf(token);
+      ids.push_back(vid >= 0 ? kept_id_[vid] : -1);
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] < 0) continue;
+      const size_t hi = std::min(ids.size(), i + 1 + options_.window);
+      for (size_t j = i + 1; j < hi; ++j) {
+        if (ids[j] < 0) continue;
+        const double weight = 1.0 / static_cast<double>(j - i);
+        const uint32_t a = static_cast<uint32_t>(std::min(ids[i], ids[j]));
+        const uint32_t b = static_cast<uint32_t>(std::max(ids[i], ids[j]));
+        cooc[(static_cast<uint64_t>(a) << 32) | b] += weight;
+        row_sum[a] += weight;
+        row_sum[b] += weight;
+        total += 2.0 * weight;
+      }
+    }
+  }
+  if (total == 0.0) {
+    // Degenerate corpus (all sentences length 1): embeddings stay zero.
+    vectors_.assign(n, la::Zeros(options_.dim));
+    fitted_ = true;
+    return;
+  }
+
+  // Smoothed context distribution for PPMI.
+  std::vector<double> context_prob(n, 0.0);
+  double smoothed_total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    context_prob[i] = std::pow(row_sum[i], options_.smoothing);
+    smoothed_total += context_prob[i];
+  }
+  for (double& p : context_prob) p /= smoothed_total;
+
+  la::SparseMatrix ppmi(n);
+  for (const auto& [key, count] : cooc) {
+    const uint32_t a = static_cast<uint32_t>(key >> 32);
+    const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
+    const double p_ab = count / total;
+    const double p_a = row_sum[a] / total;
+    const double value = std::log(p_ab / (p_a * context_prob[b]));
+    if (value <= 0.0) continue;
+    ppmi.Add(a, b, value);
+    if (a != b) ppmi.Add(b, a, value);
+  }
+
+  const la::EigenResult eigen =
+      la::TopEigenpairs(ppmi, options_.dim, options_.iterations, options_.seed);
+  const la::Matrix emb = la::EigenEmbedding(eigen);
+
+  vectors_.assign(n, la::Vec());
+  for (size_t i = 0; i < n; ++i) {
+    la::Vec v(options_.dim, 0.0f);
+    for (size_t j = 0; j < emb.cols(); ++j) {
+      v[j] = static_cast<float>(emb.At(i, j));
+    }
+    la::Normalize(&v);
+    vectors_[i] = std::move(v);
+  }
+  fitted_ = true;
+}
+
+la::Vec CoocEmbedder::Embed(std::string_view token) const {
+  WYM_CHECK(fitted_) << "CoocEmbedder used before Fit";
+  const int32_t vid = vocab_.IdOf(token);
+  if (vid < 0 || kept_id_[vid] < 0) return la::Zeros(options_.dim);
+  return vectors_[kept_id_[vid]];
+}
+
+void CoocEmbedder::Save(serde::Serializer* s) const {
+  s->Tag("cooc/v1");
+  s->Bool(fitted_);
+  s->U64(options_.dim);
+  s->U64(vectors_.size());
+  for (size_t kept = 0; kept < vectors_.size(); ++kept) {
+    // Recover the token string of this kept id.
+    // kept ids were assigned in TopK order; store token + vector.
+    s->VecF32(vectors_[kept]);
+  }
+  // Token strings, in kept-id order.
+  std::vector<int32_t> kept_to_vocab(vectors_.size(), -1);
+  for (size_t vid = 0; vid < kept_id_.size(); ++vid) {
+    if (kept_id_[vid] >= 0) kept_to_vocab[kept_id_[vid]] = static_cast<int32_t>(vid);
+  }
+  for (size_t kept = 0; kept < vectors_.size(); ++kept) {
+    s->Str(kept_to_vocab[kept] >= 0 ? vocab_.TokenOf(kept_to_vocab[kept])
+                                    : std::string());
+  }
+}
+
+bool CoocEmbedder::Load(serde::Deserializer* d) {
+  if (!d->Tag("cooc/v1")) return false;
+  fitted_ = d->Bool();
+  options_.dim = d->U64();
+  const uint64_t count = d->U64();
+  if (!d->ok() || count > (1u << 24)) return false;
+  vectors_.assign(count, la::Vec());
+  for (auto& v : vectors_) {
+    v = d->VecF32();
+    if (!d->ok() || v.size() != options_.dim) return false;
+  }
+  vocab_ = text::Vocabulary();
+  kept_id_.assign(count, -1);
+  for (size_t kept = 0; kept < count; ++kept) {
+    const std::string token = d->Str();
+    if (!d->ok()) return false;
+    const int32_t vid = vocab_.Add(token);
+    kept_id_[vid] = static_cast<int32_t>(kept);
+  }
+  return d->ok();
+}
+
+}  // namespace wym::embedding

@@ -1,0 +1,43 @@
+#ifndef WYM_EXPLAIN_COUNTERFACTUAL_H_
+#define WYM_EXPLAIN_COUNTERFACTUAL_H_
+
+#include <vector>
+
+#include "core/wym.h"
+
+/// \file
+/// Counterfactual explanations over decision units: the smallest set of
+/// units whose removal flips the prediction — the complementary view
+/// CERTA advocates for EM explanations (paper §2.2). WYM's unit space
+/// makes this cheap: units are removed from the scored set and the
+/// matcher is re-queried, no text perturbation needed.
+
+namespace wym::explain {
+
+/// A counterfactual for one record.
+struct Counterfactual {
+  /// Indices (into the explanation's unit list) whose removal flips the
+  /// prediction; empty when no flip was found within the budget.
+  std::vector<size_t> removed_units;
+  /// Prediction and probability after the removal.
+  int flipped_prediction = 0;
+  double flipped_probability = 0.0;
+  bool found = false;
+};
+
+/// Options for FindCounterfactual.
+struct CounterfactualOptions {
+  /// Give up after removing this many units.
+  size_t max_removals = 8;
+};
+
+/// Greedy counterfactual search: repeatedly removes the unit whose
+/// impact pushes hardest toward the current prediction and re-queries
+/// the matcher, until the prediction flips or the budget is exhausted.
+Counterfactual FindCounterfactual(const core::WymModel& model,
+                                  const core::Explanation& explanation,
+                                  CounterfactualOptions options = {});
+
+}  // namespace wym::explain
+
+#endif  // WYM_EXPLAIN_COUNTERFACTUAL_H_

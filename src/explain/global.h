@@ -1,0 +1,61 @@
+#ifndef WYM_EXPLAIN_GLOBAL_H_
+#define WYM_EXPLAIN_GLOBAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/wym.h"
+
+/// \file
+/// Global (dataset-level) interpretability on top of WYM's local
+/// explanations: aggregates unit impacts across a dataset to answer
+/// "which attributes drive this matcher?" (the attribute-level view CERTA
+/// advocates — paper §2.2) and "which recurring decision units carry the
+/// most evidence?". Consumed by `wym_cli stats` and the analysis example.
+
+namespace wym::explain {
+
+/// Aggregated influence of one schema attribute.
+struct AttributeInfluence {
+  size_t attribute = 0;
+  /// Mean |impact| per unit anchored at this attribute.
+  double mean_absolute_impact = 0.0;
+  /// Mean signed impact (positive = the attribute mostly pushes match).
+  double mean_impact = 0.0;
+  /// Units observed at this attribute across the dataset.
+  size_t unit_count = 0;
+};
+
+/// One recurring decision unit with aggregate impact.
+struct RecurringUnit {
+  std::string label;     ///< "(sony, sony)" / "(eng)".
+  bool paired = false;
+  size_t occurrences = 0;
+  double mean_impact = 0.0;
+};
+
+/// The global attribution report.
+struct GlobalAttribution {
+  /// Per-attribute influence, index-aligned to the schema.
+  std::vector<AttributeInfluence> attributes;
+  /// Most match-pushing recurring units (mean impact desc, min 2 occ.).
+  std::vector<RecurringUnit> top_match_units;
+  /// Most non-match-pushing recurring units (mean impact asc).
+  std::vector<RecurringUnit> top_non_match_units;
+  size_t records_analyzed = 0;
+};
+
+/// Explains every record of `dataset` with `model` and aggregates.
+/// `top_k` bounds the recurring-unit lists.
+GlobalAttribution ComputeGlobalAttribution(const core::WymModel& model,
+                                           const data::Dataset& dataset,
+                                           size_t top_k = 10);
+
+/// Renders the report as aligned text (attribute table + unit lists).
+/// `schema` supplies attribute names.
+std::string RenderGlobalAttribution(const GlobalAttribution& report,
+                                    const data::Schema& schema);
+
+}  // namespace wym::explain
+
+#endif  // WYM_EXPLAIN_GLOBAL_H_

@@ -1,0 +1,45 @@
+#ifndef WYM_EXPLAIN_REPORT_H_
+#define WYM_EXPLAIN_REPORT_H_
+
+#include <string>
+
+#include "core/wym.h"
+
+/// \file
+/// Human-facing rendering of explanations: the ASCII analogue of the
+/// paper's Figure 3 bar charts (relevance and impact scores per decision
+/// unit), plus machine-readable JSON export for downstream tooling.
+
+namespace wym::explain {
+
+/// Options for RenderExplanation.
+struct ReportOptions {
+  /// Render at most this many units (by |impact|); 0 = all.
+  size_t max_units = 0;
+  /// Width of the bar area in characters (split between the negative and
+  /// positive half-axes).
+  size_t bar_width = 40;
+  /// Render the relevance column next to the impact bars (Figure 3a/3b
+  /// vs 3c/3d).
+  bool show_relevance = true;
+};
+
+/// Renders an explanation as a text bar chart:
+///
+///   prediction: MATCH (p=0.93)
+///   (dslra200w, dslra200w)   0.87 |            ########## | +1.12
+///   (kit)                   -0.66 | #####                 | -0.41
+///
+/// Units are ordered by impact descending (match evidence first).
+std::string RenderExplanation(const core::Explanation& explanation,
+                              ReportOptions options = {});
+
+/// Serializes an explanation to a single JSON object:
+/// {"prediction":1,"probability":0.93,"units":[{"label":...,
+///  "paired":true,"phase":"intra","attribute":0,"relevance":...,
+///  "impact":...}, ...]}. Strings are escaped per RFC 8259.
+std::string ExplanationToJson(const core::Explanation& explanation);
+
+}  // namespace wym::explain
+
+#endif  // WYM_EXPLAIN_REPORT_H_

@@ -1,0 +1,57 @@
+#include "explain/token_explanation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wym::explain {
+
+std::vector<size_t> TokenLevelExplanation::RankByMagnitude() const {
+  std::vector<size_t> order(weights.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return std::fabs(weights[a].weight) > std::fabs(weights[b].weight);
+  });
+  return order;
+}
+
+std::vector<TokenKey> EnumerateTokens(const data::EmRecord& record,
+                                      const text::Tokenizer& tokenizer) {
+  std::vector<TokenKey> out;
+  auto enumerate = [&](const data::Entity& entity, core::Side side) {
+    for (size_t attr = 0; attr < entity.values.size(); ++attr) {
+      const auto tokens = tokenizer.Tokenize(entity.values[attr]);
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        out.push_back({side, attr, i, tokens[i]});
+      }
+    }
+  };
+  enumerate(record.left, core::Side::kLeft);
+  enumerate(record.right, core::Side::kRight);
+  return out;
+}
+
+data::EmRecord MaskRecord(const data::EmRecord& record,
+                          const std::vector<TokenKey>& tokens,
+                          const std::vector<bool>& mask) {
+  WYM_CHECK_EQ(tokens.size(), mask.size());
+  data::EmRecord out;
+  out.label = record.label;
+  out.left.values.assign(record.left.values.size(), "");
+  out.right.values.assign(record.right.values.size(), "");
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!mask[i]) continue;
+    const TokenKey& key = tokens[i];
+    data::Entity& entity =
+        key.side == core::Side::kLeft ? out.left : out.right;
+    WYM_CHECK_LT(key.attribute, entity.values.size());
+    std::string& value = entity.values[key.attribute];
+    if (!value.empty()) value += " ";
+    value += key.token;
+  }
+  return out;
+}
+
+}  // namespace wym::explain

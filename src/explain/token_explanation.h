@@ -1,0 +1,57 @@
+#ifndef WYM_EXPLAIN_TOKEN_EXPLANATION_H_
+#define WYM_EXPLAIN_TOKEN_EXPLANATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/decision_unit.h"
+#include "data/record.h"
+#include "text/tokenizer.h"
+
+/// \file
+/// Token-level (feature-based) explanations: the representation produced
+/// by the post-hoc explainers (LIME, Landmark). Tokens are addressed by
+/// (side, attribute, index-within-attribute) so records can be rebuilt
+/// with token subsets for the sufficiency experiments.
+
+namespace wym::explain {
+
+/// Address of one token inside a record.
+struct TokenKey {
+  core::Side side = core::Side::kLeft;
+  size_t attribute = 0;
+  size_t index = 0;  ///< Position within the attribute's token list.
+  std::string token;
+};
+
+/// One token's attribution weight.
+struct TokenWeight {
+  TokenKey key;
+  double weight = 0.0;
+};
+
+/// A post-hoc, feature-based explanation of one prediction.
+struct TokenLevelExplanation {
+  /// Matching probability of the unperturbed record.
+  double base_probability = 0.0;
+  std::vector<TokenWeight> weights;
+
+  /// Indices of `weights` sorted by |weight| descending.
+  std::vector<size_t> RankByMagnitude() const;
+};
+
+/// Tokenizes every attribute of a record into addressable tokens.
+std::vector<TokenKey> EnumerateTokens(const data::EmRecord& record,
+                                      const text::Tokenizer& tokenizer);
+
+/// Rebuilds a record keeping only the tokens whose mask bit is true.
+/// `tokens` and `mask` are parallel; attributes with no kept token become
+/// empty strings.
+data::EmRecord MaskRecord(const data::EmRecord& record,
+                          const std::vector<TokenKey>& tokens,
+                          const std::vector<bool>& mask);
+
+}  // namespace wym::explain
+
+#endif  // WYM_EXPLAIN_TOKEN_EXPLANATION_H_

@@ -1,0 +1,52 @@
+#include "la/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace wym::la {
+
+EigenResult TopEigenpairs(const SparseMatrix& a, size_t k, size_t iterations,
+                          uint64_t seed) {
+  const size_t n = a.size();
+  k = std::min(k, n);
+  WYM_CHECK_GT(k, 0u);
+
+  Rng rng(seed);
+  Matrix q(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      q.At(i, j) = rng.Normal();
+    }
+  }
+  q.OrthonormalizeColumns();
+
+  for (size_t it = 0; it < iterations; ++it) {
+    q = a.MultiplyDense(q);
+    q.OrthonormalizeColumns();
+  }
+
+  // Rayleigh quotients lambda_j = q_j' A q_j.
+  const Matrix aq = a.MultiplyDense(q);
+  std::vector<double> values(k, 0.0);
+  for (size_t j = 0; j < k; ++j) {
+    double lambda = 0.0;
+    for (size_t i = 0; i < n; ++i) lambda += q.At(i, j) * aq.At(i, j);
+    values[j] = lambda;
+  }
+
+  return {std::move(q), std::move(values)};
+}
+
+Matrix EigenEmbedding(const EigenResult& eigen) {
+  Matrix out = eigen.vectors;
+  for (size_t j = 0; j < out.cols(); ++j) {
+    const double scale = std::sqrt(std::max(eigen.values[j], 0.0));
+    for (size_t i = 0; i < out.rows(); ++i) out.At(i, j) *= scale;
+  }
+  return out;
+}
+
+}  // namespace wym::la

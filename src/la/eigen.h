@@ -1,0 +1,36 @@
+#ifndef WYM_LA_EIGEN_H_
+#define WYM_LA_EIGEN_H_
+
+#include <cstdint>
+
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+
+/// \file
+/// Truncated symmetric eigendecomposition via randomized orthogonal
+/// (block power) iteration. Factorizes the PPMI matrix into low-dimensional
+/// token embeddings, standing in for the SVD step of count-based
+/// distributional embeddings.
+
+namespace wym::la {
+
+/// Result of TopEigenpairs: `vectors` is n x k (columns are eigenvectors),
+/// `values[j]` the Rayleigh-quotient estimate of the j-th eigenvalue.
+struct EigenResult {
+  Matrix vectors;
+  std::vector<double> values;
+};
+
+/// Computes the k dominant eigenpairs of the symmetric matrix `a` with
+/// `iterations` rounds of orthogonal iteration from a seeded random start.
+/// k is clamped to the matrix size.
+EigenResult TopEigenpairs(const SparseMatrix& a, size_t k, size_t iterations,
+                          uint64_t seed);
+
+/// Embedding rows E = V * diag(sqrt(max(lambda, 0))): the classic
+/// symmetric-PPMI factorization (returns n x k).
+Matrix EigenEmbedding(const EigenResult& eigen);
+
+}  // namespace wym::la
+
+#endif  // WYM_LA_EIGEN_H_

@@ -1,0 +1,145 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace wym::la {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::At(size_t r, size_t c) {
+  WYM_CHECK_LT(r, rows_);
+  WYM_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  WYM_CHECK_LT(r, rows_);
+  WYM_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+double* Matrix::Row(size_t r) {
+  WYM_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+const double* Matrix::Row(size_t r) const {
+  WYM_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+std::vector<double> Matrix::RowVector(size_t r) const {
+  const double* p = Row(r);
+  return std::vector<double>(p, p + cols_);
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  WYM_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* out_row = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out.At(j, i) = At(i, j);
+    }
+  }
+  return out;
+}
+
+void Matrix::OrthonormalizeColumns() {
+  constexpr double kEpsilon = 1e-12;
+  for (size_t j = 0; j < cols_; ++j) {
+    // Subtract projections on the previous columns (modified Gram-Schmidt).
+    for (size_t k = 0; k < j; ++k) {
+      double dot = 0.0;
+      for (size_t i = 0; i < rows_; ++i) dot += At(i, j) * At(i, k);
+      for (size_t i = 0; i < rows_; ++i) At(i, j) -= dot * At(i, k);
+    }
+    double norm = 0.0;
+    for (size_t i = 0; i < rows_; ++i) norm += At(i, j) * At(i, j);
+    norm = std::sqrt(norm);
+    if (norm < kEpsilon) {
+      for (size_t i = 0; i < rows_; ++i) At(i, j) = 0.0;
+      continue;
+    }
+    for (size_t i = 0; i < rows_; ++i) At(i, j) /= norm;
+  }
+}
+
+void Matrix::Save(serde::Serializer* s) const {
+  s->Tag("matrix/v1");
+  s->U64(rows_);
+  s->U64(cols_);
+  s->VecF64(data_);
+}
+
+bool Matrix::Load(serde::Deserializer* d) {
+  if (!d->Tag("matrix/v1")) return false;
+  rows_ = d->U64();
+  cols_ = d->U64();
+  data_ = d->VecF64();
+  if (!d->ok() || data_.size() != rows_ * cols_) return false;
+  return true;
+}
+
+std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b,
+                                      double ridge) {
+  const size_t n = a.rows();
+  WYM_CHECK_EQ(a.cols(), n);
+  WYM_CHECK_EQ(b.size(), n);
+  for (size_t i = 0; i < n; ++i) a.At(i, i) += ridge;
+
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) continue;  // Singular direction; leave as-is.
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.At(col, c), a.At(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double diagonal = a.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a.At(r, col) / diagonal;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a.At(r, c) -= factor * a.At(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= a.At(i, j) * x[j];
+    const double diagonal = a.At(i, i);
+    x[i] = (std::fabs(diagonal) < 1e-12) ? 0.0 : sum / diagonal;
+  }
+  return x;
+}
+
+}  // namespace wym::la

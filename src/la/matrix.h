@@ -1,0 +1,70 @@
+#ifndef WYM_LA_MATRIX_H_
+#define WYM_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/serde.h"
+
+/// \file
+/// Row-major dense double matrix used by the neural network, the
+/// classifier pool and the eigensolver.
+
+namespace wym::la {
+
+/// Dense row-major matrix of doubles. Copyable; cheap default construction.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized (or filled with `fill`).
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Element access; bounds-checked in debug via WYM_CHECK.
+  double& At(size_t r, size_t c);
+  double At(size_t r, size_t c) const;
+
+  /// Pointer to row r (cols() contiguous doubles).
+  double* Row(size_t r);
+  const double* Row(size_t r) const;
+
+  /// Copies row r into a vector.
+  std::vector<double> RowVector(size_t r) const;
+
+  /// this * other (standard matmul).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// In-place Gram-Schmidt orthonormalization of the columns.
+  /// Near-dependent columns are replaced with zeros.
+  void OrthonormalizeColumns();
+
+  /// Serializes shape + data (see util/serde.h).
+  void Save(serde::Serializer* s) const;
+  /// Restores a Save()d matrix; returns false on malformed input.
+  bool Load(serde::Deserializer* d);
+
+  /// Raw storage (row-major).
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite-ish A via Gaussian
+/// elimination with partial pivoting; adds `ridge` to the diagonal first.
+/// Used by LDA and the LIME ridge regression. A is n x n, b has n entries.
+std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b,
+                                      double ridge = 0.0);
+
+}  // namespace wym::la
+
+#endif  // WYM_LA_MATRIX_H_

@@ -1,0 +1,36 @@
+#include "la/sparse_matrix.h"
+
+#include "util/logging.h"
+
+namespace wym::la {
+
+SparseMatrix::SparseMatrix(size_t n) : rows_(n) {}
+
+void SparseMatrix::Add(size_t row, size_t col, double value) {
+  WYM_CHECK_LT(row, rows_.size());
+  WYM_CHECK_LT(col, rows_.size());
+  rows_[row].push_back({static_cast<uint32_t>(col), value});
+}
+
+size_t SparseMatrix::EntryCount() const {
+  size_t count = 0;
+  for (const auto& row : rows_) count += row.size();
+  return count;
+}
+
+Matrix SparseMatrix::MultiplyDense(const Matrix& block) const {
+  WYM_CHECK_EQ(block.rows(), rows_.size());
+  Matrix out(rows_.size(), block.cols());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    double* out_row = out.Row(r);
+    for (const Entry& e : rows_[r]) {
+      const double* b_row = block.Row(e.col);
+      for (size_t j = 0; j < block.cols(); ++j) {
+        out_row[j] += e.value * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wym::la

@@ -1,0 +1,45 @@
+#ifndef WYM_LA_SPARSE_MATRIX_H_
+#define WYM_LA_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+/// \file
+/// Sparse symmetric matrix used for the PPMI co-occurrence matrix of the
+/// distributional embedder. Only matrix * dense-block products are needed
+/// (for orthogonal iteration).
+
+namespace wym::la {
+
+/// Row-indexed sparse matrix of doubles. Entries are appended and then the
+/// matrix is used read-only.
+class SparseMatrix {
+ public:
+  /// Square n x n matrix with no entries.
+  explicit SparseMatrix(size_t n);
+
+  size_t size() const { return rows_.size(); }
+
+  /// Adds `value` at (row, col). Duplicate coordinates accumulate on
+  /// multiplication (no merging is performed).
+  void Add(size_t row, size_t col, double value);
+
+  /// Number of stored entries.
+  size_t EntryCount() const;
+
+  /// Dense product this * block, where block is n x k. Returns n x k.
+  Matrix MultiplyDense(const Matrix& block) const;
+
+ private:
+  struct Entry {
+    uint32_t col;
+    double value;
+  };
+  std::vector<std::vector<Entry>> rows_;
+};
+
+}  // namespace wym::la
+
+#endif  // WYM_LA_SPARSE_MATRIX_H_

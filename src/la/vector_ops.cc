@@ -1,0 +1,67 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace wym::la {
+
+double Dot(const Vec& a, const Vec& b) {
+  WYM_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+double Cosine(const Vec& a, const Vec& b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void Axpy(double scale, const Vec& b, Vec* a) {
+  WYM_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    (*a)[i] += static_cast<float>(scale * b[i]);
+  }
+}
+
+void Scale(double factor, Vec* a) {
+  for (float& v : *a) v = static_cast<float>(v * factor);
+}
+
+void Normalize(Vec* a) {
+  const double norm = Norm(*a);
+  if (norm == 0.0) return;
+  Scale(1.0 / norm, a);
+}
+
+Vec MeanOf(const Vec& a, const Vec& b) {
+  WYM_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = 0.5f * (a[i] + b[i]);
+  return out;
+}
+
+Vec AbsDiff(const Vec& a, const Vec& b) {
+  WYM_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = std::fabs(a[i] - b[i]);
+  return out;
+}
+
+Vec Zeros(size_t dim) { return Vec(dim, 0.0f); }
+
+bool IsZero(const Vec& a) {
+  for (float v : a) {
+    if (v != 0.0f) return false;
+  }
+  return true;
+}
+
+}  // namespace wym::la

@@ -1,0 +1,111 @@
+#include "matching/stable_marriage.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wym::matching {
+
+std::vector<MatchedPair> StableMarriage(const la::Matrix& similarity,
+                                        double threshold) {
+  const size_t n_left = similarity.rows();
+  const size_t n_right = similarity.cols();
+  if (n_left == 0 || n_right == 0) return {};
+
+  // Preference lists for the proposing (left) side: candidates above the
+  // threshold, best first; ties toward the lower column index.
+  std::vector<std::vector<size_t>> preferences(n_left);
+  for (size_t l = 0; l < n_left; ++l) {
+    auto& prefs = preferences[l];
+    for (size_t r = 0; r < n_right; ++r) {
+      if (similarity.At(l, r) >= threshold) prefs.push_back(r);
+    }
+    std::stable_sort(prefs.begin(), prefs.end(), [&](size_t a, size_t b) {
+      return similarity.At(l, a) > similarity.At(l, b);
+    });
+  }
+
+  // engaged_to[r] = left currently engaged to right r (or npos).
+  constexpr size_t kFree = static_cast<size_t>(-1);
+  std::vector<size_t> engaged_to(n_right, kFree);
+  std::vector<size_t> next_proposal(n_left, 0);
+  std::vector<size_t> queue;  // Free lefts with proposals remaining.
+  for (size_t l = 0; l < n_left; ++l) queue.push_back(l);
+
+  while (!queue.empty()) {
+    const size_t l = queue.back();
+    queue.pop_back();
+    bool engaged = false;
+    while (next_proposal[l] < preferences[l].size()) {
+      const size_t r = preferences[l][next_proposal[l]++];
+      const size_t current = engaged_to[r];
+      if (current == kFree) {
+        engaged_to[r] = l;
+        engaged = true;
+        break;
+      }
+      // Right side prefers the higher similarity; on ties the incumbent
+      // (lower arrival) stays, keeping determinism.
+      if (similarity.At(l, r) > similarity.At(current, r)) {
+        engaged_to[r] = l;
+        queue.push_back(current);
+        engaged = true;
+        break;
+      }
+    }
+    (void)engaged;  // Lefts that exhaust their list simply stay single.
+  }
+
+  std::vector<MatchedPair> matching;
+  for (size_t r = 0; r < n_right; ++r) {
+    if (engaged_to[r] == kFree) continue;
+    matching.push_back({engaged_to[r], r, similarity.At(engaged_to[r], r)});
+  }
+  // Deterministic output order: by left index.
+  std::sort(matching.begin(), matching.end(),
+            [](const MatchedPair& a, const MatchedPair& b) {
+              return a.left < b.left;
+            });
+  return matching;
+}
+
+bool IsStableMatching(const la::Matrix& similarity, double threshold,
+                      const std::vector<MatchedPair>& matching) {
+  const size_t n_left = similarity.rows();
+  const size_t n_right = similarity.cols();
+  constexpr size_t kFree = static_cast<size_t>(-1);
+  std::vector<size_t> left_partner(n_left, kFree);
+  std::vector<size_t> right_partner(n_right, kFree);
+  for (const auto& pair : matching) {
+    WYM_CHECK_LT(pair.left, n_left);
+    WYM_CHECK_LT(pair.right, n_right);
+    if (left_partner[pair.left] != kFree) return false;   // One-to-one.
+    if (right_partner[pair.right] != kFree) return false;
+    left_partner[pair.left] = pair.right;
+    right_partner[pair.right] = pair.left;
+  }
+
+  auto left_current = [&](size_t l) {
+    return left_partner[l] == kFree
+               ? -1.0
+               : similarity.At(l, left_partner[l]);
+  };
+  auto right_current = [&](size_t r) {
+    return right_partner[r] == kFree
+               ? -1.0
+               : similarity.At(right_partner[r], r);
+  };
+
+  // A blocking pair is (l, r) above threshold where both strictly prefer
+  // each other to their current situation.
+  for (size_t l = 0; l < n_left; ++l) {
+    for (size_t r = 0; r < n_right; ++r) {
+      const double s = similarity.At(l, r);
+      if (s < threshold) continue;
+      if (s > left_current(l) && s > right_current(r)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wym::matching

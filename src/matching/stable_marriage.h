@@ -1,0 +1,41 @@
+#ifndef WYM_MATCHING_STABLE_MARRIAGE_H_
+#define WYM_MATCHING_STABLE_MARRIAGE_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+/// \file
+/// The relaxed stable-marriage assignment of the paper's `GetSMPairs`
+/// (§4.1.2): Gale-Shapley over preference lists defined by continuous
+/// similarities, truncated at a threshold, with variable-length lists.
+/// Both sides rank candidates by the same symmetric similarity, so the
+/// returned matching is stable and one-to-one; unmatchable elements
+/// (no candidate above the threshold) stay single.
+
+namespace wym::matching {
+
+/// One assignment produced by StableMarriage.
+struct MatchedPair {
+  size_t left;        ///< Row index into the similarity matrix.
+  size_t right;       ///< Column index.
+  double similarity;  ///< similarity.At(left, right).
+};
+
+/// Runs proposer-side Gale-Shapley on a dense left x right similarity
+/// matrix. A candidate enters a preference list only when its similarity
+/// is >= `threshold`. Ties are broken toward the lower index, making the
+/// output deterministic. Complexity O(L*R log R) for the list build plus
+/// O(L*R) proposals (the O(n^2) the paper cites).
+std::vector<MatchedPair> StableMarriage(const la::Matrix& similarity,
+                                        double threshold);
+
+/// Verification helper (used by tests): true when no unmatched-but-mutually
+/// -preferring pair exists, i.e. the classic stability condition holds for
+/// the matching under symmetric preferences.
+bool IsStableMatching(const la::Matrix& similarity, double threshold,
+                      const std::vector<MatchedPair>& matching);
+
+}  // namespace wym::matching
+
+#endif  // WYM_MATCHING_STABLE_MARRIAGE_H_

@@ -1,0 +1,73 @@
+#include "ml/classifier_pool.h"
+
+#include "ml/boosting.h"
+#include "ml/forest.h"
+#include "ml/knn.h"
+#include "ml/lda.h"
+#include "ml/linear.h"
+#include "ml/naive_bayes.h"
+#include "ml/tree.h"
+
+namespace wym::ml {
+
+std::vector<std::string> PoolMemberNames() {
+  return {"LR", "LDA", "KNN", "DT", "NB", "SVM", "AB", "GBM", "RF", "ET"};
+}
+
+std::unique_ptr<Classifier> MakeClassifier(const std::string& name,
+                                           uint64_t seed) {
+  if (name == "LR") {
+    return std::make_unique<LogisticRegression>();
+  }
+  if (name == "LDA") {
+    return std::make_unique<LinearDiscriminant>();
+  }
+  if (name == "KNN") {
+    return std::make_unique<KNearestNeighbors>();
+  }
+  if (name == "DT") {
+    DecisionTreeClassifier::Options options;
+    options.seed = seed;
+    return std::make_unique<DecisionTreeClassifier>(options);
+  }
+  if (name == "NB") {
+    return std::make_unique<GaussianNaiveBayes>();
+  }
+  if (name == "SVM") {
+    LinearSvm::Options options;
+    options.seed = seed;
+    return std::make_unique<LinearSvm>(options);
+  }
+  if (name == "AB") {
+    AdaBoostClassifier::Options options;
+    options.seed = seed;
+    return std::make_unique<AdaBoostClassifier>(options);
+  }
+  if (name == "GBM") {
+    GradientBoostingClassifier::Options options;
+    options.seed = seed;
+    return std::make_unique<GradientBoostingClassifier>(options);
+  }
+  if (name == "RF") {
+    RandomForestClassifier::Options options;
+    options.seed = seed;
+    return std::make_unique<RandomForestClassifier>(options);
+  }
+  if (name == "ET") {
+    ExtraTreesClassifier::Options options;
+    options.seed = seed;
+    return std::make_unique<ExtraTreesClassifier>(options);
+  }
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<Classifier>> MakePool(uint64_t seed) {
+  std::vector<std::unique_ptr<Classifier>> pool;
+  uint64_t salt = 0;
+  for (const std::string& name : PoolMemberNames()) {
+    pool.push_back(MakeClassifier(name, seed + 0x9e3779b97f4a7c15ull * ++salt));
+  }
+  return pool;
+}
+
+}  // namespace wym::ml

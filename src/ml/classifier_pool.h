@@ -1,0 +1,31 @@
+#ifndef WYM_ML_CLASSIFIER_POOL_H_
+#define WYM_ML_CLASSIFIER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+/// \file
+/// Factory for the paper's pool of ten interpretable classifiers
+/// (§4.3: LR, LDA, KNN, DT/CART, NB, SVM, AB, GBM, RF, ET).
+
+namespace wym::ml {
+
+/// Names of the pool members in the paper's Table 5 order.
+std::vector<std::string> PoolMemberNames();
+
+/// Creates one pool member by its short name (see PoolMemberNames).
+/// Returns nullptr for an unknown name. `seed` drives any stochastic
+/// training inside the model.
+std::unique_ptr<Classifier> MakeClassifier(const std::string& name,
+                                           uint64_t seed);
+
+/// Creates the full pool in Table 5 order.
+std::vector<std::unique_ptr<Classifier>> MakePool(uint64_t seed);
+
+}  // namespace wym::ml
+
+#endif  // WYM_ML_CLASSIFIER_POOL_H_

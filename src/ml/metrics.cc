@@ -1,0 +1,91 @@
+#include "ml/metrics.h"
+
+#include "util/logging.h"
+
+namespace wym::ml {
+
+Confusion Confuse(const std::vector<int>& truth,
+                  const std::vector<int>& predicted) {
+  WYM_CHECK_EQ(truth.size(), predicted.size());
+  Confusion c;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 1) {
+      if (predicted[i] == 1) {
+        ++c.true_positive;
+      } else {
+        ++c.false_negative;
+      }
+    } else {
+      if (predicted[i] == 1) {
+        ++c.false_positive;
+      } else {
+        ++c.true_negative;
+      }
+    }
+  }
+  return c;
+}
+
+double Precision(const Confusion& c) {
+  const size_t denom = c.true_positive + c.false_positive;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(c.true_positive) / static_cast<double>(denom);
+}
+
+double Recall(const Confusion& c) {
+  const size_t denom = c.true_positive + c.false_negative;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(c.true_positive) / static_cast<double>(denom);
+}
+
+double F1(const Confusion& c) {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double F1Score(const std::vector<int>& truth,
+               const std::vector<int>& predicted) {
+  return F1(Confuse(truth, predicted));
+}
+
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted) {
+  WYM_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  size_t equal = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++equal;
+  }
+  return static_cast<double>(equal) / static_cast<double>(truth.size());
+}
+
+double BestF1Threshold(const std::vector<double>& probas,
+                       const std::vector<int>& labels) {
+  WYM_CHECK_EQ(probas.size(), labels.size());
+  if (probas.empty()) return 0.5;
+  double best_threshold = 0.5;
+  double best_f1 = -1.0;
+  std::vector<int> predicted(probas.size());
+  for (int step = 1; step < 40; ++step) {
+    const double threshold = 0.025 * step;
+    for (size_t i = 0; i < probas.size(); ++i) {
+      predicted[i] = probas[i] >= threshold ? 1 : 0;
+    }
+    const double f1 = F1Score(labels, predicted);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+double RecalibrateProba(double proba, double threshold) {
+  if (threshold <= 0.0 || threshold >= 1.0) return proba;
+  if (proba <= threshold) return 0.5 * proba / threshold;
+  return 0.5 + 0.5 * (proba - threshold) / (1.0 - threshold);
+}
+
+}  // namespace wym::ml

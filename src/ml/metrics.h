@@ -1,0 +1,56 @@
+#ifndef WYM_ML_METRICS_H_
+#define WYM_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Binary classification metrics. All experiments in the paper report F1
+/// on the matching class.
+
+namespace wym::ml {
+
+/// Confusion counts for binary labels (positive class = 1).
+struct Confusion {
+  size_t true_positive = 0;
+  size_t false_positive = 0;
+  size_t true_negative = 0;
+  size_t false_negative = 0;
+};
+
+/// Tallies predictions against ground truth (equal, non-empty sizes).
+Confusion Confuse(const std::vector<int>& truth,
+                  const std::vector<int>& predicted);
+
+/// Precision of the positive class; 0 when undefined.
+double Precision(const Confusion& c);
+
+/// Recall of the positive class; 0 when undefined.
+double Recall(const Confusion& c);
+
+/// F1 of the positive class; 0 when undefined.
+double F1(const Confusion& c);
+
+/// Convenience: F1 straight from label vectors.
+double F1Score(const std::vector<int>& truth,
+               const std::vector<int>& predicted);
+
+/// Fraction of equal labels.
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted);
+
+/// The probability threshold maximizing F1 on (probas, labels) — the
+/// standard decision-threshold calibration EM systems run on the
+/// validation split (class priors are heavily skewed: most benchmark
+/// datasets have ~10% matches). Returns 0.5 on degenerate inputs.
+double BestF1Threshold(const std::vector<double>& probas,
+                       const std::vector<int>& labels);
+
+/// Monotone piecewise-linear recalibration mapping `threshold` to 0.5, so
+/// that downstream consumers can keep comparing probabilities against
+/// 0.5. Identity when threshold == 0.5.
+double RecalibrateProba(double proba, double threshold);
+
+}  // namespace wym::ml
+
+#endif  // WYM_ML_METRICS_H_

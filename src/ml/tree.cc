@@ -1,0 +1,283 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace wym::ml {
+
+namespace {
+
+/// Weighted mean of y over indices [begin, end).
+double WeightedMean(const std::vector<double>& y,
+                    const std::vector<double>& weights,
+                    const std::vector<size_t>& indices, size_t begin,
+                    size_t end) {
+  double sum = 0.0, total = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const size_t idx = indices[i];
+    const double w = weights.empty() ? 1.0 : weights[idx];
+    sum += w * y[idx];
+    total += w;
+  }
+  return total > 0.0 ? sum / total : 0.0;
+}
+
+}  // namespace
+
+RegressionTree::RegressionTree(TreeOptions options) : options_(options) {}
+
+void RegressionTree::Fit(const la::Matrix& x, const std::vector<double>& y,
+                         const std::vector<double>& weights,
+                         const std::vector<size_t>& indices, Rng* rng) {
+  WYM_CHECK(!indices.empty());
+  WYM_CHECK_EQ(x.rows(), y.size());
+  nodes_.clear();
+  importance_.assign(x.cols(), 0.0);
+  std::vector<size_t> working = indices;
+  Grow(x, y, weights, &working, 0, working.size(), 0, rng);
+}
+
+int RegressionTree::Grow(const la::Matrix& x, const std::vector<double>& y,
+                         const std::vector<double>& weights,
+                         std::vector<size_t>* indices, size_t begin,
+                         size_t end, size_t depth, Rng* rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = WeightedMean(y, weights, *indices, begin, end);
+
+  const size_t count = end - begin;
+  if (depth >= options_.max_depth || count < options_.min_samples_split) {
+    return node_id;
+  }
+
+  // Parent impurity statistics (weighted sum of squares decomposition).
+  double w_total = 0.0, wy_total = 0.0, wyy_total = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const size_t idx = (*indices)[i];
+    const double w = weights.empty() ? 1.0 : weights[idx];
+    const double v = y[idx];
+    w_total += w;
+    wy_total += w * v;
+    wyy_total += w * v * v;
+  }
+  if (w_total <= 0.0) return node_id;
+  const double parent_sse = wyy_total - wy_total * wy_total / w_total;
+  if (parent_sse <= 1e-12) return node_id;  // Pure node.
+
+  // Feature subset.
+  const size_t d = x.cols();
+  std::vector<size_t> features(d);
+  for (size_t j = 0; j < d; ++j) features[j] = j;
+  size_t feature_count = d;
+  if (options_.max_features > 0 && options_.max_features < d) {
+    WYM_CHECK(rng != nullptr);
+    rng->Shuffle(&features);
+    feature_count = options_.max_features;
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+
+  std::vector<std::pair<double, size_t>> sorted;  // (value, sample index)
+  sorted.reserve(count);
+
+  for (size_t f = 0; f < feature_count; ++f) {
+    const size_t feature = features[f];
+
+    if (options_.random_thresholds) {
+      // ExtraTrees: a single uniform threshold in the node's value range.
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (size_t i = begin; i < end; ++i) {
+        const double v = x.At((*indices)[i], feature);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (hi <= lo) continue;
+      WYM_CHECK(rng != nullptr);
+      const double threshold = rng->Uniform(lo, hi);
+      double wl = 0.0, wyl = 0.0, wyyl = 0.0;
+      size_t left_count = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const size_t idx = (*indices)[i];
+        if (x.At(idx, feature) > threshold) continue;
+        const double w = weights.empty() ? 1.0 : weights[idx];
+        const double v = y[idx];
+        wl += w;
+        wyl += w * v;
+        wyyl += w * v * v;
+        ++left_count;
+      }
+      const size_t right_count = count - left_count;
+      if (left_count < options_.min_samples_leaf ||
+          right_count < options_.min_samples_leaf || wl <= 0.0 ||
+          w_total - wl <= 0.0) {
+        continue;
+      }
+      const double left_sse = wyyl - wyl * wyl / wl;
+      const double wr = w_total - wl;
+      const double wyr = wy_total - wyl;
+      const double wyyr = wyy_total - wyyl;
+      const double right_sse = wyyr - wyr * wyr / wr;
+      const double gain = parent_sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = threshold;
+      }
+      continue;
+    }
+
+    // Exact scan over sorted cut points.
+    sorted.clear();
+    for (size_t i = begin; i < end; ++i) {
+      const size_t idx = (*indices)[i];
+      sorted.emplace_back(x.At(idx, feature), idx);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    double wl = 0.0, wyl = 0.0, wyyl = 0.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const size_t idx = sorted[i].second;
+      const double w = weights.empty() ? 1.0 : weights[idx];
+      const double v = y[idx];
+      wl += w;
+      wyl += w * v;
+      wyyl += w * v * v;
+      // Only cut between distinct values.
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const size_t left_count = i + 1;
+      const size_t right_count = count - left_count;
+      if (left_count < options_.min_samples_leaf ||
+          right_count < options_.min_samples_leaf) {
+        continue;
+      }
+      const double wr = w_total - wl;
+      if (wl <= 0.0 || wr <= 0.0) continue;
+      const double left_sse = wyyl - wyl * wyl / wl;
+      const double wyr = wy_total - wyl;
+      const double wyyr = wyy_total - wyyl;
+      const double right_sse = wyyr - wyr * wyr / wr;
+      const double gain = parent_sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition indices in place.
+  auto middle = std::partition(
+      indices->begin() + begin, indices->begin() + end,
+      [&](size_t idx) { return x.At(idx, best_feature) <= best_threshold; });
+  const size_t split = static_cast<size_t>(middle - indices->begin());
+  if (split == begin || split == end) return node_id;  // Numeric edge case.
+
+  importance_[best_feature] += best_gain;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Grow(x, y, weights, indices, begin, split, depth + 1, rng);
+  nodes_[node_id].left = left;
+  const int right = Grow(x, y, weights, indices, split, end, depth + 1, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const double* row) const {
+  WYM_CHECK(!nodes_.empty()) << "RegressionTree used before Fit";
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = (row[nodes_[node].feature] <= nodes_[node].threshold)
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+void RegressionTree::Save(serde::Serializer* s) const {
+  s->Tag("tree/v1");
+  s->U64(nodes_.size());
+  for (const Node& node : nodes_) {
+    s->I64(node.feature);
+    s->F64(node.threshold);
+    s->I64(node.left);
+    s->I64(node.right);
+    s->F64(node.value);
+  }
+  s->VecF64(importance_);
+}
+
+bool RegressionTree::Load(serde::Deserializer* d) {
+  if (!d->Tag("tree/v1")) return false;
+  const uint64_t count = d->U64();
+  if (!d->ok() || count > (1u << 26)) return false;
+  nodes_.assign(count, {});
+  for (Node& node : nodes_) {
+    node.feature = static_cast<int>(d->I64());
+    node.threshold = d->F64();
+    node.left = static_cast<int>(d->I64());
+    node.right = static_cast<int>(d->I64());
+    node.value = d->F64();
+  }
+  importance_ = d->VecF64();
+  if (!d->ok()) return false;
+  // Structural sanity: children must stay in bounds.
+  for (const Node& node : nodes_) {
+    if (node.feature >= 0 &&
+        (node.left < 0 || node.right < 0 ||
+         static_cast<size_t>(node.left) >= nodes_.size() ||
+         static_cast<size_t>(node.right) >= nodes_.size())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DecisionTreeClassifier::DecisionTreeClassifier(Options options)
+    : options_(options), tree_(options.tree) {}
+
+void DecisionTreeClassifier::Fit(const la::Matrix& x,
+                                 const std::vector<int>& y) {
+  WYM_CHECK_EQ(x.rows(), y.size());
+  WYM_CHECK_GT(x.rows(), 0u);
+  std::vector<double> targets(y.begin(), y.end());
+  std::vector<size_t> indices(x.rows());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  Rng rng(options_.seed);
+  tree_ = RegressionTree(options_.tree);
+  tree_.Fit(x, targets, /*weights=*/{}, indices, &rng);
+
+  std::vector<double> probas(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    probas[i] = tree_.Predict(x.Row(i));
+  }
+  importance_ = internal::SurrogateImportance(x, probas);
+}
+
+double DecisionTreeClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  return std::clamp(tree_.Predict(row), 0.0, 1.0);
+}
+
+void DecisionTreeClassifier::SaveState(serde::Serializer* s) const {
+  s->Tag("dt/v1");
+  tree_.Save(s);
+  s->VecF64(importance_);
+}
+
+bool DecisionTreeClassifier::LoadState(serde::Deserializer* d) {
+  if (!d->Tag("dt/v1")) return false;
+  if (!tree_.Load(d)) return false;
+  importance_ = d->VecF64();
+  return d->ok();
+}
+
+}  // namespace wym::ml

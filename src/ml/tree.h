@@ -1,0 +1,108 @@
+#ifndef WYM_ML_TREE_H_
+#define WYM_ML_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+#include "ml/classifier.h"
+#include "util/random.h"
+
+/// \file
+/// Regression-tree core shared by CART, RandomForest, ExtraTrees, the
+/// AdaBoost stumps and GradientBoosting. For binary classification the
+/// tree regresses 0/1 targets: minimizing weighted variance is equivalent
+/// to minimizing Gini impurity, and leaf means are class-1 probabilities.
+
+namespace wym::ml {
+
+/// Split/grow controls.
+struct TreeOptions {
+  size_t max_depth = 10;
+  size_t min_samples_leaf = 2;
+  size_t min_samples_split = 4;
+  /// Features examined per split; 0 = all (CART), sqrt(d) for forests.
+  size_t max_features = 0;
+  /// ExtraTrees: draw one uniform threshold per candidate feature instead
+  /// of scanning all cut points.
+  bool random_thresholds = false;
+};
+
+/// A fitted regression tree (flat node array).
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeOptions options = {});
+
+  /// Fits on the rows of x listed in `indices` against targets y with
+  /// per-sample weights (pass empty weights for uniform).
+  void Fit(const la::Matrix& x, const std::vector<double>& y,
+           const std::vector<double>& weights,
+           const std::vector<size_t>& indices, Rng* rng);
+
+  /// Predicted value for a feature row.
+  double Predict(const double* row) const;
+  double Predict(const std::vector<double>& row) const {
+    return Predict(row.data());
+  }
+
+  /// Total impurity decrease attributed to each feature (unsigned).
+  const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+  size_t node_count() const { return nodes_.size(); }
+  bool fitted() const { return !nodes_.empty(); }
+
+  /// Serialization (see util/serde.h).
+  void Save(serde::Serializer* s) const;
+  bool Load(serde::Deserializer* d);
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 = leaf.
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;
+  };
+
+  int Grow(const la::Matrix& x, const std::vector<double>& y,
+           const std::vector<double>& weights, std::vector<size_t>* indices,
+           size_t begin, size_t end, size_t depth, Rng* rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+/// Options for DecisionTreeClassifier.
+struct DecisionTreeClassifierOptions {
+  TreeOptions tree;
+  uint64_t seed = 0xCA27;
+};
+
+/// CART decision-tree classifier (pool member "DT" / "CART").
+class DecisionTreeClassifier : public Classifier {
+ public:
+  using Options = DecisionTreeClassifierOptions;
+
+  explicit DecisionTreeClassifier(Options options = {});
+
+  const char* name() const override { return "DT"; }
+  void Fit(const la::Matrix& x, const std::vector<int>& y) override;
+  double PredictProba(const std::vector<double>& row) const override;
+  std::vector<double> SignedImportance() const override {
+    return importance_;
+  }
+  void SaveState(serde::Serializer* s) const override;
+  bool LoadState(serde::Deserializer* d) override;
+
+ private:
+  Options options_;
+  RegressionTree tree_;
+  std::vector<double> importance_;
+};
+
+}  // namespace wym::ml
+
+#endif  // WYM_ML_TREE_H_

@@ -1,0 +1,108 @@
+#include "text/string_metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wym::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  // Rolling single-row DP.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t above = row[j];
+      const size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diagonal + cost});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t longest = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t match_window =
+      std::max<size_t>(1, std::max(a.size(), b.size()) / 2) - 1;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = (i > match_window) ? i - match_window : 0;
+    const size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched subsequences.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  constexpr double kPrefixScale = 0.1;
+  constexpr size_t kMaxPrefix = 4;
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), kMaxPrefix});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * kPrefixScale * (1.0 - jaro);
+}
+
+double NgramJaccard(std::string_view a, std::string_view b, size_t n) {
+  auto grams = [n](std::string_view s) {
+    std::set<std::string> out;
+    if (s.size() <= n) {
+      out.emplace(s);
+      return out;
+    }
+    for (size_t i = 0; i + n <= s.size(); ++i) {
+      out.emplace(s.substr(i, n));
+    }
+    return out;
+  };
+  const std::set<std::string> ga = grams(a);
+  const std::set<std::string> gb = grams(b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  size_t shared = 0;
+  for (const auto& g : ga) shared += gb.count(g);
+  const size_t unioned = ga.size() + gb.size() - shared;
+  if (unioned == 0) return 1.0;
+  return static_cast<double>(shared) / static_cast<double>(unioned);
+}
+
+}  // namespace wym::text

@@ -1,0 +1,33 @@
+#ifndef WYM_TEXT_STRING_METRICS_H_
+#define WYM_TEXT_STRING_METRICS_H_
+
+#include <string_view>
+
+/// \file
+/// Syntactic string similarity measures. Jaro-Winkler is the baseline the
+/// paper uses for the unit-generator and scorer ablations (Table 4); the
+/// others support tests and the subword embedder.
+
+namespace wym::text {
+
+/// Levenshtein edit distance (unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity: 1 - distance / max(|a|, |b|); 1 for two
+/// empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0, 1] with standard prefix scale 0.1 and
+/// a maximum common-prefix length of 4 (Winkler 1990).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of character n-gram sets (default trigrams).
+/// Strings shorter than n are treated as a single gram.
+double NgramJaccard(std::string_view a, std::string_view b, size_t n = 3);
+
+}  // namespace wym::text
+
+#endif  // WYM_TEXT_STRING_METRICS_H_

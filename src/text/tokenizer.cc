@@ -1,0 +1,113 @@
+#include "text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace wym::text {
+
+namespace {
+
+// Compact English stop-word list; matches the scale of the NLTK list the
+// reference implementation uses for EM descriptions.
+constexpr std::array<std::string_view, 48> kStopWords = {
+    "a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",
+    "for",  "from", "has",  "he",   "in",   "is",   "it",   "its",
+    "of",   "on",   "or",   "that", "the",  "to",   "was",  "were",
+    "will", "with", "this", "but",  "they", "have", "had",  "what",
+    "when", "where", "who", "which", "their", "them", "these", "those",
+    "then", "than", "so",   "not",  "no",   "nor",  "into", "about"};
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+bool IsAlnum(char c) { return std::isalnum(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsStopWord(std::string_view token) {
+  for (std::string_view w : kStopWords) {
+    if (w == token) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    std::string token =
+        options_.lowercase ? strings::ToLower(current) : current;
+    current.clear();
+    if (token.size() < options_.min_token_length) return;
+    if (options_.remove_stopwords && IsStopWord(token)) return;
+    tokens.push_back(std::move(token));
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (IsAlnum(c)) {
+      current += c;
+      continue;
+    }
+    // Keep '.' between two digits: "37.63" is one token.
+    if (c == '.' && i > 0 && i + 1 < text.size() && IsDigit(text[i - 1]) &&
+        IsDigit(text[i + 1])) {
+      current += c;
+      continue;
+    }
+    flush();
+  }
+  flush();
+  return tokens;
+}
+
+SubwordSplitter::SubwordSplitter(const std::vector<std::string>& corpus_tokens,
+                                 size_t max_pieces, size_t max_piece_length,
+                                 size_t min_count)
+    : max_piece_length_(max_piece_length) {
+  // Always include every single character observed, so Split can never fail.
+  std::map<std::string, size_t> counts;
+  for (const std::string& token : corpus_tokens) {
+    for (char c : token) pieces_.insert(std::string(1, c));
+    for (size_t len = 2; len <= max_piece_length && len <= token.size();
+         ++len) {
+      for (size_t i = 0; i + len <= token.size(); ++i) {
+        ++counts[token.substr(i, len)];
+      }
+    }
+  }
+  // Keep the most frequent multi-character substrings. std::map iteration is
+  // deterministic; ties break lexicographically via the map ordering below.
+  std::multimap<size_t, std::string, std::greater<>> ranked;
+  for (const auto& [piece, count] : counts) {
+    if (count >= min_count) ranked.emplace(count, piece);
+  }
+  size_t added = 0;
+  for (const auto& [count, piece] : ranked) {
+    if (added >= max_pieces) break;
+    if (pieces_.insert(piece).second) ++added;
+  }
+}
+
+std::vector<std::string> SubwordSplitter::Split(std::string_view token) const {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < token.size()) {
+    size_t len = std::min(max_piece_length_, token.size() - start);
+    // Greedy longest match; single characters always hit (if seen in the
+    // corpus) or fall back to the raw character.
+    while (len > 1 &&
+           pieces_.count(std::string(token.substr(start, len))) == 0) {
+      --len;
+    }
+    out.emplace_back(token.substr(start, len));
+    start += len;
+  }
+  return out;
+}
+
+}  // namespace wym::text

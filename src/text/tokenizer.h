@@ -1,0 +1,80 @@
+#ifndef WYM_TEXT_TOKENIZER_H_
+#define WYM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+/// \file
+/// Tokenization of entity-description attribute values (paper §4.1.1):
+/// lower-casing, punctuation splitting, stop-word removal, and an optional
+/// word-piece-style subword splitter used by the subword embedder.
+
+namespace wym::text {
+
+/// Configuration for Tokenizer.
+struct TokenizerOptions {
+  /// Lower-case all tokens (the paper tokenizes case-insensitively).
+  bool lowercase = true;
+  /// Drop English stop words ("the", "of", ...; paper §4.1.1).
+  bool remove_stopwords = true;
+  /// Drop tokens shorter than this after splitting (1 keeps everything).
+  size_t min_token_length = 1;
+};
+
+/// Splits attribute values into word tokens.
+///
+/// Splitting rules: whitespace and punctuation are separators, except that
+/// '.' between digits is kept (prices like "37.63" stay one token) and
+/// '-'/'/'/'&' inside alphanumeric runs are treated as separators. Tokens
+/// are lower-cased and stop words removed according to the options.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes one attribute value.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// True if `token` (already lower-cased) is in the stop-word list.
+  static bool IsStopWord(std::string_view token);
+
+ private:
+  TokenizerOptions options_;
+};
+
+/// Greedy longest-match-first subword splitter over a fixed vocabulary,
+/// mimicking WordPiece. Unknown spans fall back to character pieces. Used
+/// by the embedding module to share statistics between rare tokens (the
+/// paper leans on BERT's word-piece tokenization; §5.1.1 notes its side
+/// effects on product codes).
+class SubwordSplitter {
+ public:
+  /// Builds the piece vocabulary from a corpus of tokens: all characters
+  /// plus the `max_pieces` most frequent multi-character substrings of
+  /// length <= `max_piece_length` occurring at least `min_count` times.
+  SubwordSplitter(const std::vector<std::string>& corpus_tokens,
+                  size_t max_pieces = 2048, size_t max_piece_length = 6,
+                  size_t min_count = 2);
+
+  /// Splits a token into pieces; never returns an empty vector for a
+  /// non-empty token. Continuation pieces carry no marker (positions are
+  /// tracked by the caller).
+  std::vector<std::string> Split(std::string_view token) const;
+
+  /// Number of pieces in the vocabulary.
+  size_t vocabulary_size() const { return pieces_.size(); }
+
+  /// True if `piece` is in the vocabulary.
+  bool Contains(std::string_view piece) const {
+    return pieces_.count(std::string(piece)) > 0;
+  }
+
+ private:
+  std::unordered_set<std::string> pieces_;
+  size_t max_piece_length_ = 6;
+};
+
+}  // namespace wym::text
+
+#endif  // WYM_TEXT_TOKENIZER_H_

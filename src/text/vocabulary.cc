@@ -1,0 +1,50 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wym::text {
+
+int32_t Vocabulary::Add(std::string_view token) {
+  ++total_count_;
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) {
+    ++counts_[it->second];
+    return it->second;
+  }
+  const int32_t id = static_cast<int32_t>(tokens_.size());
+  ids_.emplace(std::string(token), id);
+  tokens_.emplace_back(token);
+  counts_.push_back(1);
+  return id;
+}
+
+int32_t Vocabulary::IdOf(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kUnknownToken : it->second;
+}
+
+const std::string& Vocabulary::TokenOf(int32_t id) const {
+  WYM_CHECK_GE(id, 0);
+  WYM_CHECK_LT(static_cast<size_t>(id), tokens_.size());
+  return tokens_[id];
+}
+
+int64_t Vocabulary::CountOf(int32_t id) const {
+  WYM_CHECK_GE(id, 0);
+  WYM_CHECK_LT(static_cast<size_t>(id), counts_.size());
+  return counts_[id];
+}
+
+std::vector<int32_t> Vocabulary::TopK(size_t k) const {
+  std::vector<int32_t> ids(tokens_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
+  std::stable_sort(ids.begin(), ids.end(), [this](int32_t a, int32_t b) {
+    return counts_[a] > counts_[b];
+  });
+  if (ids.size() > k) ids.resize(k);
+  return ids;
+}
+
+}  // namespace wym::text

@@ -1,0 +1,57 @@
+#ifndef WYM_TEXT_VOCABULARY_H_
+#define WYM_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file
+/// Token vocabulary with frequencies. Backs the co-occurrence embedder and
+/// statistics in the dataset benches.
+
+namespace wym::text {
+
+/// Sentinel returned by Vocabulary::IdOf for unknown tokens.
+inline constexpr int32_t kUnknownToken = -1;
+
+/// Bidirectional token <-> id map with occurrence counts.
+/// Ids are assigned in first-seen order, so building from the same corpus
+/// is deterministic.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Adds one occurrence of `token`, creating an id on first sight.
+  /// Returns the token id.
+  int32_t Add(std::string_view token);
+
+  /// Id of `token`, or kUnknownToken.
+  int32_t IdOf(std::string_view token) const;
+
+  /// Token string for a valid id.
+  const std::string& TokenOf(int32_t id) const;
+
+  /// Occurrence count for a valid id.
+  int64_t CountOf(int32_t id) const;
+
+  /// Number of distinct tokens.
+  size_t size() const { return tokens_.size(); }
+
+  /// Total occurrences added.
+  int64_t total_count() const { return total_count_; }
+
+  /// Ids of the `k` most frequent tokens (ties by id order).
+  std::vector<int32_t> TopK(size_t k) const;
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace wym::text
+
+#endif  // WYM_TEXT_VOCABULARY_H_

@@ -1,0 +1,65 @@
+#ifndef WYM_UTIL_LOGGING_H_
+#define WYM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Lightweight CHECK/LOG facilities in the style of glog.
+///
+/// Library code never throws: invariant violations (programming errors)
+/// abort through `WYM_CHECK`, recoverable failures (I/O, parsing) flow
+/// through `wym::Status` (see util/status.h).
+
+namespace wym::internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+/// Used as the right-hand side of the WYM_CHECK macros.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "WYM_CHECK failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  /// Appends extra context: `WYM_CHECK(x) << "while doing y";`
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace wym::internal
+
+/// Aborts with a diagnostic when `condition` is false.
+#define WYM_CHECK(condition)                                        \
+  if (!(condition))                                                 \
+  ::wym::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+/// Binary comparison CHECKs; evaluate operands once.
+#define WYM_CHECK_OP(lhs, rhs, op)                                       \
+  if (!((lhs)op(rhs)))                                                   \
+  ::wym::internal::CheckFailure(__FILE__, __LINE__, #lhs " " #op " " #rhs)
+
+#define WYM_CHECK_EQ(lhs, rhs) WYM_CHECK_OP(lhs, rhs, ==)
+#define WYM_CHECK_NE(lhs, rhs) WYM_CHECK_OP(lhs, rhs, !=)
+#define WYM_CHECK_LT(lhs, rhs) WYM_CHECK_OP(lhs, rhs, <)
+#define WYM_CHECK_LE(lhs, rhs) WYM_CHECK_OP(lhs, rhs, <=)
+#define WYM_CHECK_GT(lhs, rhs) WYM_CHECK_OP(lhs, rhs, >)
+#define WYM_CHECK_GE(lhs, rhs) WYM_CHECK_OP(lhs, rhs, >=)
+
+#endif  // WYM_UTIL_LOGGING_H_

@@ -1,0 +1,81 @@
+#ifndef WYM_UTIL_RANDOM_H_
+#define WYM_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file
+/// Seeded randomness. Every stochastic component in the library takes an
+/// explicit seed (or an Rng) so that full pipeline runs are bit-deterministic.
+
+namespace wym {
+
+/// A seedable pseudo-random generator wrapping std::mt19937_64 with the
+/// handful of draws the library needs. Copyable (copies the stream state).
+class Rng {
+ public:
+  /// Constructs a generator from an explicit seed.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    WYM_CHECK_GT(n, 0u);
+    return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Int(int64_t lo, int64_t hi) {
+    WYM_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw scaled to (mean, stddev).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      std::swap((*items)[i], (*items)[Index(i + 1)]);
+    }
+  }
+
+  /// Picks one element of a non-empty vector uniformly.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    WYM_CHECK(!items.empty());
+    return items[Index(items.size())];
+  }
+
+  /// Derives an independent child seed; use to hand sub-components their
+  /// own streams without coupling their draw sequences.
+  uint64_t Fork() {
+    return std::uniform_int_distribution<uint64_t>()(engine_);
+  }
+
+  /// Access to the underlying engine for std::distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace wym
+
+#endif  // WYM_UTIL_RANDOM_H_

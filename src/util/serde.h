@@ -1,0 +1,168 @@
+#ifndef WYM_UTIL_SERDE_H_
+#define WYM_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+/// \file
+/// Minimal model serialization: a whitespace-separated text format with
+/// exact (hexfloat) floating-point round trips and length-prefixed
+/// strings. Every component writes a tag first, so version or structure
+/// mismatches fail fast instead of reading garbage.
+///
+/// The format is intentionally simple — the goal is faithful persistence
+/// of trained WYM pipelines (see core::WymModel::Save/Load), not an
+/// interchange format.
+
+namespace wym::serde {
+
+/// Writes primitives to a stream.
+class Serializer {
+ public:
+  explicit Serializer(std::ostream* out) : out_(*out) {}
+
+  Serializer(const Serializer&) = delete;
+  Serializer& operator=(const Serializer&) = delete;
+
+  /// Component tag, e.g. Tag("mlp/v1").
+  void Tag(const std::string& tag) { Str(tag); }
+
+  void U64(uint64_t value) { out_ << value << '\n'; }
+  void I64(int64_t value) { out_ << value << '\n'; }
+  void Bool(bool value) { U64(value ? 1 : 0); }
+
+  /// Exact round-trip via hexfloat.
+  void F64(double value) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%a", value);
+    out_ << buffer << '\n';
+  }
+  void F32(float value) { F64(static_cast<double>(value)); }
+
+  /// Length-prefixed string (may contain any bytes except none).
+  void Str(const std::string& value) {
+    out_ << value.size() << ' ' << value << '\n';
+  }
+
+  void VecF64(const std::vector<double>& values) {
+    U64(values.size());
+    for (double v : values) F64(v);
+  }
+  void VecF32(const std::vector<float>& values) {
+    U64(values.size());
+    for (float v : values) F32(v);
+  }
+  void VecU64(const std::vector<uint64_t>& values) {
+    U64(values.size());
+    for (uint64_t v : values) U64(v);
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Reads primitives; any failure (I/O, parse, tag mismatch, absurd
+/// length) latches `ok() == false` and subsequent reads return zeros.
+class Deserializer {
+ public:
+  /// `max_vector` bounds vector lengths to catch corrupted headers.
+  explicit Deserializer(std::istream* in, size_t max_vector = 1u << 28)
+      : in_(*in), max_vector_(max_vector) {}
+
+  Deserializer(const Deserializer&) = delete;
+  Deserializer& operator=(const Deserializer&) = delete;
+
+  bool ok() const { return ok_; }
+
+  /// Reads a string and fails unless it equals `expected`.
+  bool Tag(const std::string& expected) {
+    const std::string actual = Str();
+    if (ok_ && actual != expected) ok_ = false;
+    return ok_;
+  }
+
+  uint64_t U64() {
+    uint64_t value = 0;
+    if (ok_ && !(in_ >> value)) ok_ = false;
+    return ok_ ? value : 0;
+  }
+
+  int64_t I64() {
+    int64_t value = 0;
+    if (ok_ && !(in_ >> value)) ok_ = false;
+    return ok_ ? value : 0;
+  }
+
+  bool Bool() { return U64() != 0; }
+
+  double F64() {
+    std::string token;
+    if (ok_ && !(in_ >> token)) ok_ = false;
+    if (!ok_) return 0.0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') ok_ = false;
+    return ok_ ? value : 0.0;
+  }
+  float F32() { return static_cast<float>(F64()); }
+
+  std::string Str() {
+    const uint64_t length = U64();
+    if (!ok_) return "";
+    if (length > max_vector_) {
+      ok_ = false;
+      return "";
+    }
+    in_.get();  // The separating space.
+    std::string value(length, '\0');
+    if (length > 0 && !in_.read(value.data(), static_cast<long>(length))) {
+      ok_ = false;
+      return "";
+    }
+    return value;
+  }
+
+  std::vector<double> VecF64() {
+    const uint64_t length = U64();
+    if (!ok_ || length > max_vector_) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<double> values(length);
+    for (auto& v : values) v = F64();
+    return ok_ ? values : std::vector<double>{};
+  }
+
+  std::vector<float> VecF32() {
+    const uint64_t length = U64();
+    if (!ok_ || length > max_vector_) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<float> values(length);
+    for (auto& v : values) v = F32();
+    return ok_ ? values : std::vector<float>{};
+  }
+
+  std::vector<uint64_t> VecU64() {
+    const uint64_t length = U64();
+    if (!ok_ || length > max_vector_) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<uint64_t> values(length);
+    for (auto& v : values) v = U64();
+    return ok_ ? values : std::vector<uint64_t>{};
+  }
+
+ private:
+  std::istream& in_;
+  size_t max_vector_;
+  bool ok_ = true;
+};
+
+}  // namespace wym::serde
+
+#endif  // WYM_UTIL_SERDE_H_

@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace wym::stats {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+double Min(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Sum(const std::vector<double>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+double Pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  WYM_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double FleissKappa(const std::vector<std::vector<int>>& ratings) {
+  if (ratings.empty()) return 0.0;
+  const size_t num_subjects = ratings.size();
+  const size_t num_categories = ratings[0].size();
+  int raters = 0;
+  for (int c : ratings[0]) raters += c;
+  WYM_CHECK_GT(raters, 1) << "Fleiss kappa needs >= 2 raters";
+
+  // Per-category proportions.
+  std::vector<double> p_cat(num_categories, 0.0);
+  double p_bar = 0.0;
+  for (const auto& row : ratings) {
+    WYM_CHECK_EQ(row.size(), num_categories);
+    int row_total = 0;
+    double agree = 0.0;
+    for (size_t c = 0; c < num_categories; ++c) {
+      row_total += row[c];
+      p_cat[c] += row[c];
+      agree += static_cast<double>(row[c]) * (row[c] - 1);
+    }
+    WYM_CHECK_EQ(row_total, raters) << "rater count must be constant";
+    p_bar += agree / (static_cast<double>(raters) * (raters - 1));
+  }
+  p_bar /= static_cast<double>(num_subjects);
+
+  double p_e = 0.0;
+  const double total =
+      static_cast<double>(num_subjects) * static_cast<double>(raters);
+  for (size_t c = 0; c < num_categories; ++c) {
+    const double share = p_cat[c] / total;
+    p_e += share * share;
+  }
+  if (p_e >= 1.0) return 1.0;  // Complete agreement on a single category.
+  return (p_bar - p_e) / (1.0 - p_e);
+}
+
+}  // namespace wym::stats

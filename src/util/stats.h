@@ -1,0 +1,42 @@
+#ifndef WYM_UTIL_STATS_H_
+#define WYM_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Descriptive statistics used across the feature extractor, the benchmark
+/// harnesses, and the explanation-evaluation code (Pearson correlation,
+/// Fleiss' kappa for the user-study reproduction).
+
+namespace wym::stats {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Median (average of middle two for even sizes); 0 for an empty input.
+double Median(std::vector<double> values);
+
+/// Population standard deviation; 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& values);
+
+/// Minimum / maximum; 0 for an empty input.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Sum of the values.
+double Sum(const std::vector<double>& values);
+
+/// Pearson correlation coefficient of two equally-sized series.
+/// Returns 0 when either series is constant or shorter than 2.
+double Pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fleiss' kappa for inter-rater agreement.
+/// `ratings[i][c]` = number of raters that assigned subject i to category c.
+/// Every subject must have the same total number of raters.
+/// Returns 1.0 under complete agreement; 0 when chance agreement saturates.
+double FleissKappa(const std::vector<std::vector<int>>& ratings);
+
+}  // namespace wym::stats
+
+#endif  // WYM_UTIL_STATS_H_

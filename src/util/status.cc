@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace wym {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "Ok";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace wym

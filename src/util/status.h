@@ -1,0 +1,108 @@
+#ifndef WYM_UTIL_STATUS_H_
+#define WYM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+/// \file
+/// RocksDB-style Status / Result error handling. Fallible operations
+/// (file I/O, parsing, user-supplied configuration) return a `Status`
+/// or a `Result<T>`; the library never throws.
+
+namespace wym {
+
+/// Outcome of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  /// Error taxonomy; kOk means success.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIoError,
+    kCorruption,
+    kFailedPrecondition,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  /// Factory helpers, RocksDB idiom.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(Code::kIoError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(Code::kCorruption, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(Code::kFailedPrecondition, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IoError: no such file".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// failed Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so functions can
+  /// `return value;` or `return Status::IoError(...);`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    WYM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; require ok().
+  const T& value() const& {
+    WYM_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    WYM_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    WYM_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace wym
+
+/// Propagates a non-OK Status to the caller.
+#define WYM_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::wym::Status _status = (expr);        \
+    if (!_status.ok()) return _status;     \
+  } while (false)
+
+#endif  // WYM_UTIL_STATUS_H_

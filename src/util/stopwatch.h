@@ -1,0 +1,34 @@
+#ifndef WYM_UTIL_STOPWATCH_H_
+#define WYM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock timing for the throughput experiments (paper §5.3).
+
+namespace wym {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the clock.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wym
+
+#endif  // WYM_UTIL_STOPWATCH_H_

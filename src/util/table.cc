@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wym {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WYM_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  WYM_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) {
+    cells.push_back(strings::FormatDouble(v, precision));
+  }
+  AddRow(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) line += "  ";
+    }
+    // Trim trailing spaces from padding of the final column.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  size_t rule_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule_width, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace wym

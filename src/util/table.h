@@ -1,0 +1,40 @@
+#ifndef WYM_UTIL_TABLE_H_
+#define WYM_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// ASCII table printing for the benchmark harnesses: every bench binary
+/// regenerates one of the paper's tables/figures as aligned text rows.
+
+namespace wym {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: appends a row where trailing cells are doubles
+  /// formatted with `precision` digits after the leading label cells.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders the table (header, rule, rows) into a string.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wym
+
+#endif  // WYM_UTIL_TABLE_H_

@@ -1,0 +1,235 @@
+// Tests for the analysis extensions: label-preserving augmentation and
+// global (dataset-level) attribution.
+
+#include <gtest/gtest.h>
+
+#include "core/wym.h"
+#include "data/augmentation.h"
+#include "data/statistics.h"
+#include "data/benchmark_gen.h"
+#include "data/split.h"
+#include "explain/counterfactual.h"
+#include "explain/global.h"
+#include "ml/metrics.h"
+#include "text/tokenizer.h"
+
+namespace wym {
+namespace {
+
+TEST(AugmentationTest, SizeAndSchema) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 5, 0.1);
+  data::AugmentationOptions options;
+  options.copies_per_record = 2;
+  const data::Dataset augmented = data::AugmentDataset(dataset, options);
+  EXPECT_EQ(augmented.size(), dataset.size() * 3);
+  EXPECT_EQ(augmented.schema, dataset.schema);
+  // Originals come first, unchanged.
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(augmented.records[i].left.values,
+              dataset.records[i].left.values);
+  }
+}
+
+TEST(AugmentationTest, PreservesLabelsAndBalance) {
+  const data::Dataset dataset = data::GenerateById("S-IA", 5, 0.3);
+  const data::Dataset augmented = data::AugmentDataset(dataset);
+  EXPECT_NEAR(augmented.MatchPercent(), dataset.MatchPercent(), 1e-9);
+}
+
+TEST(AugmentationTest, IdentityAttributeKeepsHalfItsTokens) {
+  data::Dataset dataset;
+  dataset.schema = {{"name"}};
+  data::EmRecord record;
+  record.left.values = {"alpha beta gamma delta epsilon zeta"};
+  record.right.values = {"alpha beta gamma delta epsilon zeta"};
+  record.label = 1;
+  dataset.records.push_back(record);
+
+  data::AugmentationOptions options;
+  options.copies_per_record = 50;
+  options.token_dropout = 0.9;  // Aggressive.
+  const data::Dataset augmented = data::AugmentDataset(dataset, options);
+  const text::Tokenizer tokenizer;
+  for (size_t i = 1; i < augmented.size(); ++i) {
+    EXPECT_GE(tokenizer.Tokenize(augmented.records[i].left.values[0]).size(),
+              3u);
+  }
+}
+
+TEST(AugmentationTest, Deterministic) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 9, 0.1);
+  const data::Dataset a = data::AugmentDataset(dataset);
+  const data::Dataset b = data::AugmentDataset(dataset);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records[i].left.values, b.records[i].left.values);
+  }
+}
+
+TEST(AugmentationTest, HelpsLowDataRegime) {
+  // The paper's Fig. 5 low-data regime: with a tiny training slice of a
+  // hard dataset, augmentation should not hurt and typically helps.
+  const data::Dataset dataset = data::GenerateById("S-AG", 42, 0.6);
+  const data::Split split = data::DefaultSplit(dataset, 42);
+  data::Dataset small_train = data::Subset(
+      split.train, [&] {
+        std::vector<size_t> idx;
+        for (size_t i = 0; i < 150 && i < split.train.size(); ++i) {
+          idx.push_back(i);
+        }
+        return idx;
+      }(), "/small");
+
+  core::WymModel plain;
+  plain.Fit(small_train, split.validation);
+  const double f1_plain = ml::F1Score(split.test.Labels(),
+                                      plain.PredictDataset(split.test));
+
+  data::AugmentationOptions options;
+  options.copies_per_record = 2;
+  core::WymModel augmented_model;
+  augmented_model.Fit(data::AugmentDataset(small_train, options),
+                      split.validation);
+  const double f1_augmented = ml::F1Score(
+      split.test.Labels(), augmented_model.PredictDataset(split.test));
+
+  EXPECT_GT(f1_augmented, f1_plain - 0.1);  // Never catastrophically worse.
+}
+
+TEST(GlobalAttributionTest, AggregatesAcrossRecords) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 42, 0.3);
+  const data::Split split = data::DefaultSplit(dataset, 42);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+
+  const explain::GlobalAttribution report =
+      explain::ComputeGlobalAttribution(model, split.test, 5);
+  EXPECT_EQ(report.records_analyzed, split.test.size());
+  ASSERT_EQ(report.attributes.size(), dataset.schema.size());
+  size_t total_units = 0;
+  for (const auto& influence : report.attributes) {
+    total_units += influence.unit_count;
+    EXPECT_GE(influence.mean_absolute_impact, 0.0);
+  }
+  EXPECT_GT(total_units, split.test.size());  // Several units per record.
+
+  // Recurring unit lists respect their sign contract and the top_k cap.
+  EXPECT_LE(report.top_match_units.size(), 5u);
+  EXPECT_LE(report.top_non_match_units.size(), 5u);
+  for (const auto& unit : report.top_match_units) {
+    EXPECT_GT(unit.mean_impact, 0.0);
+    EXPECT_GE(unit.occurrences, 2u);
+  }
+  for (const auto& unit : report.top_non_match_units) {
+    EXPECT_LT(unit.mean_impact, 0.0);
+  }
+}
+
+TEST(GlobalAttributionTest, IdentityAttributeDominates) {
+  // The restaurant name carries the identity: its mean |impact| should
+  // top the city/type attributes.
+  const data::Dataset dataset = data::GenerateById("S-FZ", 42, 0.3);
+  const data::Split split = data::DefaultSplit(dataset, 42);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+  const explain::GlobalAttribution report =
+      explain::ComputeGlobalAttribution(model, split.test);
+  // Attribute 0 is "name".
+  EXPECT_GT(report.attributes[0].mean_absolute_impact * 1.5,
+            report.attributes[4].mean_absolute_impact);
+}
+
+TEST(GlobalAttributionTest, RenderContainsAttributeNames) {
+  const data::Dataset dataset = data::GenerateById("S-BR", 3, 0.4);
+  const data::Split split = data::DefaultSplit(dataset, 3);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+  const explain::GlobalAttribution report =
+      explain::ComputeGlobalAttribution(model, split.test);
+  const std::string text =
+      explain::RenderGlobalAttribution(report, dataset.schema);
+  EXPECT_NE(text.find("beer_name"), std::string::npos);
+  EXPECT_NE(text.find("global attribution"), std::string::npos);
+}
+
+
+TEST(CounterfactualTest, FlipsConfidentPredictions) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 42, 0.3);
+  const data::Split split = data::DefaultSplit(dataset, 42);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+
+  size_t attempted = 0, found = 0;
+  for (const auto& record : split.test.records) {
+    const core::Explanation explanation = model.Explain(record);
+    if (explanation.units.size() < 3) continue;
+    ++attempted;
+    const explain::Counterfactual cf =
+        explain::FindCounterfactual(model, explanation);
+    if (cf.found) {
+      ++found;
+      EXPECT_NE(cf.flipped_prediction, explanation.prediction);
+      EXPECT_FALSE(cf.removed_units.empty());
+      EXPECT_LE(cf.removed_units.size(), 8u);
+    } else {
+      EXPECT_TRUE(cf.removed_units.empty());
+    }
+    if (attempted == 30) break;
+  }
+  ASSERT_GT(attempted, 10u);
+  // Most confident predictions flip within the 8-unit budget.
+  EXPECT_GT(static_cast<double>(found) / attempted, 0.5);
+}
+
+TEST(CounterfactualTest, EmptyExplanationIsHandled) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 11, 0.15);
+  const data::Split split = data::DefaultSplit(dataset, 11);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+  core::Explanation empty;
+  const explain::Counterfactual cf =
+      explain::FindCounterfactual(model, empty);
+  EXPECT_FALSE(cf.found);
+}
+
+TEST(ProfileTest, ComputesMissingAndOverlap) {
+  data::Dataset dataset;
+  dataset.name = "profile";
+  dataset.schema = {{"name", "brand"}};
+  auto add = [&](const char* ln, const char* lb, const char* rn,
+                 const char* rb, int label) {
+    data::EmRecord record;
+    record.left.values = {ln, lb};
+    record.right.values = {rn, rb};
+    record.label = label;
+    dataset.records.push_back(record);
+  };
+  add("digital camera", "sony", "digital camera", "sony", 1);
+  add("digital camera", "", "oak table", "ikea", 0);
+
+  const data::DatasetProfile profile = data::ProfileDataset(dataset);
+  EXPECT_EQ(profile.records, 2u);
+  EXPECT_EQ(profile.matches, 1u);
+  ASSERT_EQ(profile.attributes.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile.attributes[0].missing_rate, 0.0);
+  EXPECT_DOUBLE_EQ(profile.attributes[1].missing_rate, 0.5);
+  EXPECT_DOUBLE_EQ(profile.attributes[0].match_overlap, 1.0);
+  EXPECT_DOUBLE_EQ(profile.attributes[0].non_match_overlap, 0.0);
+  EXPECT_DOUBLE_EQ(profile.attributes[0].overlap_gap, 1.0);
+
+  const std::string text = data::RenderProfile(profile);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("2 records"), std::string::npos);
+}
+
+TEST(ProfileTest, SignalGapOrdersAttributesOnBenchmark) {
+  // The identity attribute must show a larger match/non-match overlap gap
+  // than the price attribute on the product benchmark.
+  const data::DatasetProfile profile =
+      data::ProfileDataset(data::GenerateById("S-WA", 42, 0.5));
+  EXPECT_GT(profile.attributes[0].overlap_gap,
+            profile.attributes[2].overlap_gap);
+}
+
+}  // namespace
+}  // namespace wym

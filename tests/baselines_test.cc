@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/automl.h"
+#include "baselines/cordel.h"
+#include "baselines/ditto.h"
+#include "baselines/dm_plus.h"
+#include "baselines/similarity_features.h"
+#include "data/benchmark_gen.h"
+#include "data/split.h"
+#include "ml/metrics.h"
+
+namespace wym::baselines {
+namespace {
+
+/// Shared easy dataset: every baseline must clear a basic F1 bar on it.
+const data::Split& EasySplit() {
+  static const data::Split& split = *new data::Split(
+      data::DefaultSplit(data::GenerateById("S-FZ", 42, 0.5), 42));
+  return split;
+}
+
+TEST(SimilarityFeaturesTest, PerAttributeSignals) {
+  const auto same = AttributePairFeatures("digital camera", "digital camera");
+  ASSERT_EQ(same.size(), kPerAttributeFeatures);
+  EXPECT_NEAR(same[0], 1.0, 1e-9);  // Jaro-Winkler.
+  EXPECT_NEAR(same[1], 1.0, 1e-9);  // Token Jaccard.
+  EXPECT_NEAR(same[6], 1.0, 1e-9);  // Both present.
+
+  const auto different = AttributePairFeatures("digital camera", "oak table");
+  EXPECT_LT(different[1], 0.2);
+
+  const auto missing = AttributePairFeatures("camera", "");
+  EXPECT_DOUBLE_EQ(missing[6], 0.0);
+}
+
+TEST(SimilarityFeaturesTest, NumericChannel) {
+  const auto close = AttributePairFeatures("100.0", "105.0");
+  const auto far = AttributePairFeatures("100.0", "999.0");
+  EXPECT_GT(close[5], far[5]);
+  const auto text = AttributePairFeatures("abc", "abd");
+  EXPECT_DOUBLE_EQ(text[5], 0.0);
+}
+
+TEST(SimilarityFeaturesTest, RecordDimMatchesHelper) {
+  data::EmRecord record;
+  record.left.values = {"a", "b", "1"};
+  record.right.values = {"a", "b", "1"};
+  EXPECT_EQ(RecordSimilarityFeatures(record).size(), RecordFeatureDim(3));
+}
+
+TEST(CordelTest, ContrastFeaturesSeparateSharedAndUnique) {
+  data::EmRecord match;
+  match.left.values = {"digital camera x100", "sony"};
+  match.right.values = {"digital camera x100", "sony"};
+  data::EmRecord non_match;
+  non_match.left.values = {"digital camera x100", "sony"};
+  non_match.right.values = {"wireless router r7", "netgear"};
+
+  const auto f_match = CordelMatcher::ContrastFeatures(match);
+  const auto f_non = CordelMatcher::ContrastFeatures(non_match);
+  // Last-but-one entries: total shared, total unique.
+  const size_t n = f_match.size();
+  EXPECT_GT(f_match[n - 3], f_non[n - 3]);  // Shared count.
+  EXPECT_LT(f_match[n - 2], f_non[n - 2]);  // Unique count.
+}
+
+template <typename MatcherT>
+void ExpectLearnsEasyDataset(double min_f1) {
+  const data::Split& split = EasySplit();
+  MatcherT matcher;
+  matcher.Fit(split.train, split.validation);
+  const double f1 =
+      ml::F1Score(split.test.Labels(), matcher.PredictDataset(split.test));
+  EXPECT_GE(f1, min_f1);
+}
+
+TEST(DmPlusTest, LearnsEasyDataset) {
+  ExpectLearnsEasyDataset<DmPlusMatcher>(0.8);
+}
+
+TEST(AutoMlTest, LearnsEasyDatasetAndSelects) {
+  const data::Split& split = EasySplit();
+  AutoMlMatcher matcher;
+  matcher.Fit(split.train, split.validation);
+  EXPECT_FALSE(matcher.selected().empty());
+  EXPECT_GE(ml::F1Score(split.test.Labels(),
+                        matcher.PredictDataset(split.test)),
+            0.8);
+}
+
+TEST(CordelTest, LearnsEasyDataset) {
+  ExpectLearnsEasyDataset<CordelMatcher>(0.8);
+}
+
+TEST(DittoTest, LearnsEasyDataset) {
+  ExpectLearnsEasyDataset<DittoMatcher>(0.8);
+}
+
+TEST(BaselineTest, ProbabilitiesAreValid) {
+  const data::Split& split = EasySplit();
+  std::vector<std::unique_ptr<core::Matcher>> matchers;
+  matchers.push_back(std::make_unique<DmPlusMatcher>());
+  matchers.push_back(std::make_unique<AutoMlMatcher>());
+  matchers.push_back(std::make_unique<CordelMatcher>());
+  matchers.push_back(std::make_unique<DittoMatcher>());
+  for (auto& matcher : matchers) {
+    matcher->Fit(split.train, split.validation);
+    for (size_t i = 0; i < 20; ++i) {
+      const double proba =
+          matcher->PredictProba(split.test.records[i]);
+      EXPECT_GE(proba, 0.0) << matcher->name();
+      EXPECT_LE(proba, 1.0) << matcher->name();
+    }
+  }
+}
+
+TEST(BaselineTest, NamesMatchPaper) {
+  EXPECT_STREQ(DmPlusMatcher().name(), "DM+");
+  EXPECT_STREQ(AutoMlMatcher().name(), "AutoML");
+  EXPECT_STREQ(CordelMatcher().name(), "CorDEL");
+  EXPECT_STREQ(DittoMatcher().name(), "DITTO");
+}
+
+TEST(BaselineTest, DeterministicRefit) {
+  const data::Split& split = EasySplit();
+  CordelMatcher a, b;
+  a.Fit(split.train, split.validation);
+  b.Fit(split.train, split.validation);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(split.test.records[i]),
+                     b.PredictProba(split.test.records[i]));
+  }
+}
+
+}  // namespace
+}  // namespace wym::baselines

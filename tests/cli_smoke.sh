@@ -1,0 +1,36 @@
+#!/bin/sh
+# End-to-end smoke test of the wym_cli binary: generate -> profile ->
+# train (+save) -> explain (load) -> stats. Run by ctest with the CLI
+# path as $1.
+set -e
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" list | grep -q "S-FZ"
+
+"$CLI" generate --dataset S-FZ --out "$WORK/data.csv" --scale 0.3 --seed 7
+test -s "$WORK/data.csv"
+
+"$CLI" profile --data "$WORK/data.csv" | grep -q "records"
+
+"$CLI" train-eval --data "$WORK/data.csv" --save "$WORK/model.wym" \
+  | grep -q "test precision"
+test -s "$WORK/model.wym"
+
+"$CLI" explain --data "$WORK/data.csv" --record 2 --model "$WORK/model.wym" \
+  | grep -q "prediction:"
+
+"$CLI" explain --data "$WORK/data.csv" --record 2 --model "$WORK/model.wym" \
+  --json | grep -q '"units"'
+
+"$CLI" stats --data "$WORK/data.csv" --model "$WORK/model.wym" \
+  | grep -q "global attribution"
+
+# Error paths exit non-zero.
+if "$CLI" generate --dataset NOPE --out "$WORK/x.csv" 2>/dev/null; then
+  echo "expected failure for unknown dataset" >&2
+  exit 1
+fi
+
+echo "cli smoke OK"

@@ -1,0 +1,174 @@
+// End-to-end pipeline tests: generator -> WYM -> predictions ->
+// explanations, plus the parameterized cross-dataset property sweep.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/wym.h"
+#include "data/benchmark_gen.h"
+#include "data/csv.h"
+#include "data/split.h"
+#include "explain/evaluation.h"
+#include "ml/metrics.h"
+
+namespace wym {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnEasyDataset) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 42, 0.5);
+  const data::Split split = data::DefaultSplit(dataset, 42);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+  ASSERT_TRUE(model.fitted());
+
+  const double f1 =
+      ml::F1Score(split.test.Labels(), model.PredictDataset(split.test));
+  EXPECT_GT(f1, 0.85);
+}
+
+TEST(IntegrationTest, ExplanationsAreComplete) {
+  const data::Dataset dataset = data::GenerateById("S-IA", 7, 0.3);
+  const data::Split split = data::DefaultSplit(dataset, 7);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+
+  for (size_t i = 0; i < 10; ++i) {
+    const data::EmRecord& record = split.test.records[i];
+    const core::Explanation explanation = model.Explain(record);
+    // The explanation's prediction agrees with Predict.
+    EXPECT_EQ(explanation.prediction, model.Predict(record));
+    EXPECT_GE(explanation.probability, 0.0);
+    EXPECT_LE(explanation.probability, 1.0);
+    // Every unit has finite relevance in [-1, 1] and finite impact.
+    for (const auto& unit : explanation.units) {
+      EXPECT_GE(unit.relevance, -1.0);
+      EXPECT_LE(unit.relevance, 1.0);
+      EXPECT_TRUE(std::isfinite(unit.impact));
+    }
+    // And the units cover the tokens of the record.
+    const core::TokenizedRecord tokenized = model.Prepare(record);
+    std::vector<core::DecisionUnit> units;
+    for (const auto& eu : explanation.units) units.push_back(eu.unit);
+    EXPECT_TRUE(
+        core::CheckUnitConstraints(units, tokenized.left, tokenized.right));
+  }
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  const data::Dataset dataset = data::GenerateById("S-BR", 11, 0.5);
+  const data::Split split = data::DefaultSplit(dataset, 11);
+  core::WymModel a, b;
+  a.Fit(split.train, split.validation);
+  b.Fit(split.train, split.validation);
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(split.test.records[i]),
+                     b.PredictProba(split.test.records[i]));
+  }
+}
+
+TEST(IntegrationTest, RefitIsIdempotent) {
+  const data::Dataset dataset = data::GenerateById("S-BR", 13, 0.4);
+  const data::Split split = data::DefaultSplit(dataset, 13);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+  const double before = model.PredictProba(split.test.records[0]);
+  model.Fit(split.train, split.validation);  // Second Fit, same data.
+  EXPECT_DOUBLE_EQ(model.PredictProba(split.test.records[0]), before);
+}
+
+TEST(IntegrationTest, CsvRoundTripTrainsIdentically) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 21, 0.2);
+  const auto parsed = data::DatasetFromCsv(data::DatasetToCsv(dataset),
+                                           dataset.name);
+  ASSERT_TRUE(parsed.ok());
+  const data::Split split_a = data::DefaultSplit(dataset, 5);
+  const data::Split split_b = data::DefaultSplit(parsed.value(), 5);
+  core::WymModel a, b;
+  a.Fit(split_a.train, split_a.validation);
+  b.Fit(split_b.train, split_b.validation);
+  for (size_t i = 0; i < split_a.test.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(split_a.test.records[i]),
+                     b.PredictProba(split_b.test.records[i]));
+  }
+}
+
+TEST(IntegrationTest, SimplifiedFeaturesStillLearn) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 42, 0.4);
+  const data::Split split = data::DefaultSplit(dataset, 42);
+  core::WymConfig config;
+  config.simplified_features = true;
+  core::WymModel model(config);
+  model.Fit(split.train, split.validation);
+  EXPECT_GT(ml::F1Score(split.test.Labels(),
+                        model.PredictDataset(split.test)),
+            0.7);
+}
+
+TEST(IntegrationTest, MatchExplanationsLeanOnPairedUnits) {
+  // Figure 3 shape: for confidently-matching records the top positive
+  // impact comes from paired units; for non-matching records the negative
+  // evidence comes from unpaired units.
+  const data::Dataset dataset = data::GenerateById("S-DA", 17, 0.4);
+  const data::Split split = data::DefaultSplit(dataset, 17);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+
+  size_t checked_matches = 0, paired_top = 0;
+  for (const auto& record : split.test.records) {
+    if (record.label != 1) continue;
+    const core::Explanation explanation = model.Explain(record);
+    if (explanation.prediction != 1 || explanation.units.empty()) continue;
+    ++checked_matches;
+    // Highest-impact unit.
+    size_t best = explanation.RankByImpactMagnitude().front();
+    if (explanation.units[best].unit.paired &&
+        explanation.units[best].impact > 0) {
+      ++paired_top;
+    }
+    if (checked_matches == 20) break;
+  }
+  ASSERT_GT(checked_matches, 10u);
+  EXPECT_GT(static_cast<double>(paired_top) /
+                static_cast<double>(checked_matches),
+            0.5);
+}
+
+// Cross-dataset property sweep (TEST_P): every benchmark dataset trains
+// end-to-end at small scale and produces structurally valid explanations.
+class DatasetSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetSweepTest, TrainsAndExplains) {
+  const data::Dataset dataset = data::GenerateById(GetParam(), 42, 0.25);
+  const data::Split split = data::DefaultSplit(dataset, 42);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+
+  const std::vector<int> predicted = model.PredictDataset(split.test);
+  // Sanity: better than labeling everything positive.
+  std::vector<int> all_positive(split.test.size(), 1);
+  EXPECT_GE(ml::F1Score(split.test.Labels(), predicted) + 0.05,
+            ml::F1Score(split.test.Labels(), all_positive))
+      << GetParam();
+
+  const core::Explanation explanation =
+      model.Explain(split.test.records.front());
+  for (const auto& unit : explanation.units) {
+    EXPECT_TRUE(std::isfinite(unit.impact)) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarkDatasets, DatasetSweepTest,
+    ::testing::Values("S-DG", "S-DA", "S-AG", "S-WA", "S-BR", "S-IA",
+                      "S-FZ", "T-AB", "D-IA", "D-DA", "D-DG", "D-WA"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace wym

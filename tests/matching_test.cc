@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "la/matrix.h"
+#include "matching/stable_marriage.h"
+#include "util/random.h"
+
+namespace wym::matching {
+namespace {
+
+la::Matrix MakeSim(std::vector<std::vector<double>> rows) {
+  la::Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows[i].size(); ++j) m.At(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+TEST(StableMarriageTest, EmptyInputs) {
+  EXPECT_TRUE(StableMarriage(la::Matrix(), 0.5).empty());
+  EXPECT_TRUE(StableMarriage(la::Matrix(3, 0), 0.5).empty());
+}
+
+TEST(StableMarriageTest, PicksMutualBest) {
+  const la::Matrix sim = MakeSim({{0.9, 0.1}, {0.2, 0.8}});
+  const auto matching = StableMarriage(sim, 0.0);
+  ASSERT_EQ(matching.size(), 2u);
+  EXPECT_EQ(matching[0].left, 0u);
+  EXPECT_EQ(matching[0].right, 0u);
+  EXPECT_EQ(matching[1].left, 1u);
+  EXPECT_EQ(matching[1].right, 1u);
+}
+
+TEST(StableMarriageTest, ThresholdTruncatesPreferences) {
+  const la::Matrix sim = MakeSim({{0.9, 0.4}, {0.4, 0.45}});
+  const auto matching = StableMarriage(sim, 0.5);
+  ASSERT_EQ(matching.size(), 1u);
+  EXPECT_EQ(matching[0].left, 0u);
+  EXPECT_EQ(matching[0].right, 0u);
+}
+
+TEST(StableMarriageTest, ConflictResolvedByPreference) {
+  // Both lefts prefer right 0; right 0 prefers left 1.
+  const la::Matrix sim = MakeSim({{0.8, 0.6}, {0.9, 0.1}});
+  const auto matching = StableMarriage(sim, 0.0);
+  ASSERT_EQ(matching.size(), 2u);
+  // left 1 wins right 0; left 0 falls back to right 1.
+  EXPECT_EQ(matching[0].left, 0u);
+  EXPECT_EQ(matching[0].right, 1u);
+  EXPECT_EQ(matching[1].left, 1u);
+  EXPECT_EQ(matching[1].right, 0u);
+}
+
+TEST(StableMarriageTest, OneToOneInvariant) {
+  Rng rng(42);
+  la::Matrix sim(7, 5);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 5; ++j) sim.At(i, j) = rng.Uniform();
+  }
+  const auto matching = StableMarriage(sim, 0.3);
+  std::vector<bool> left_used(7, false), right_used(5, false);
+  for (const auto& pair : matching) {
+    EXPECT_FALSE(left_used[pair.left]);
+    EXPECT_FALSE(right_used[pair.right]);
+    left_used[pair.left] = true;
+    right_used[pair.right] = true;
+    EXPECT_GE(pair.similarity, 0.3);
+  }
+}
+
+TEST(StableMarriageTest, ResultIsStable) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    la::Matrix sim(6, 6);
+    for (size_t i = 0; i < 6; ++i) {
+      for (size_t j = 0; j < 6; ++j) sim.At(i, j) = rng.Uniform();
+    }
+    const auto matching = StableMarriage(sim, 0.2);
+    EXPECT_TRUE(IsStableMatching(sim, 0.2, matching)) << "trial " << trial;
+  }
+}
+
+TEST(StableMarriageTest, SimilarityStoredMatchesMatrix) {
+  const la::Matrix sim = MakeSim({{0.7}});
+  const auto matching = StableMarriage(sim, 0.5);
+  ASSERT_EQ(matching.size(), 1u);
+  EXPECT_DOUBLE_EQ(matching[0].similarity, 0.7);
+}
+
+TEST(StableMarriageTest, DeterministicOnTies) {
+  const la::Matrix sim = MakeSim({{0.5, 0.5}, {0.5, 0.5}});
+  const auto a = StableMarriage(sim, 0.4);
+  const auto b = StableMarriage(sim, 0.4);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].left, b[i].left);
+    EXPECT_EQ(a[i].right, b[i].right);
+  }
+}
+
+TEST(IsStableMatchingTest, DetectsBlockingPair) {
+  const la::Matrix sim = MakeSim({{0.9, 0.1}, {0.2, 0.8}});
+  // Cross assignment is unstable: (0,0) is a blocking pair.
+  const std::vector<MatchedPair> crossed = {{0, 1, 0.1}, {1, 0, 0.2}};
+  EXPECT_FALSE(IsStableMatching(sim, 0.0, crossed));
+}
+
+TEST(IsStableMatchingTest, RejectsDuplicateAssignments) {
+  const la::Matrix sim = MakeSim({{0.9, 0.8}});
+  const std::vector<MatchedPair> doubled = {{0, 0, 0.9}, {0, 1, 0.8}};
+  EXPECT_FALSE(IsStableMatching(sim, 0.0, doubled));
+}
+
+}  // namespace
+}  // namespace wym::matching

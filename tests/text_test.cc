@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace wym::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  const Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("exch srvr, external/sa-eng");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"exch", "srvr", "external",
+                                              "sa", "eng"}));
+}
+
+TEST(TokenizerTest, KeepsDecimalPrices) {
+  const Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("price 37.63 usd");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"price", "37.63", "usd"}));
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  const Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("Sony DSLR"),
+            (std::vector<std::string>{"sony", "dslr"}));
+}
+
+TEST(TokenizerTest, RemovesStopWords) {
+  const Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("the camera of and with lens");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"camera", "lens"}));
+}
+
+TEST(TokenizerTest, StopWordRemovalCanBeDisabled) {
+  TokenizerOptions options;
+  options.remove_stopwords = false;
+  const Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("the camera").size(), 2u);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  const Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  ,;-  ").empty());
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  const Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("hp 42 laserjet"),
+            (std::vector<std::string>{"laserjet"}));
+}
+
+TEST(SubwordSplitterTest, CoversEveryToken) {
+  const SubwordSplitter splitter({"digital", "digit", "camera", "cam"});
+  for (const char* word : {"digital", "camcorder", "zzz"}) {
+    std::string reassembled;
+    for (const auto& piece : splitter.Split(word)) reassembled += piece;
+    EXPECT_EQ(reassembled, word);
+  }
+}
+
+TEST(SubwordSplitterTest, ReusesFrequentPieces) {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 10; ++i) corpus.push_back("digital");
+  const SubwordSplitter splitter(corpus, 64, 6, 2);
+  EXPECT_TRUE(splitter.Contains("digita") || splitter.Contains("digit") ||
+              splitter.Contains("dig"));
+  // "digital" splits into few long pieces, not 7 characters.
+  EXPECT_LT(splitter.Split("digital").size(), 4u);
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+}
+
+TEST(LevenshteinTest, SimilarityNormalized) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abXd"), 0.75, 1e-12);
+}
+
+TEST(JaroTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+}
+
+TEST(JaroTest, ClassicExample) {
+  // MARTHA vs MARHTA: Jaro = 0.944..., Jaro-Winkler = 0.961...
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.9611, 1e-3);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  const double jw_prefix = JaroWinklerSimilarity("prefixed", "prefixes");
+  const double jw_suffix = JaroWinklerSimilarity("xprefixed", "yprefixed");
+  EXPECT_GT(jw_prefix, jw_suffix);
+}
+
+TEST(JaroWinklerTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("dixon", "dicksonx"),
+                   JaroWinklerSimilarity("dicksonx", "dixon"));
+}
+
+TEST(NgramJaccardTest, Behaviour) {
+  EXPECT_DOUBLE_EQ(NgramJaccard("abcde", "abcde"), 1.0);
+  EXPECT_DOUBLE_EQ(NgramJaccard("", ""), 1.0);
+  EXPECT_GT(NgramJaccard("digital", "digitals"),
+            NgramJaccard("digital", "analog"));
+}
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary vocab;
+  const int32_t a = vocab.Add("alpha");
+  const int32_t b = vocab.Add("beta");
+  vocab.Add("alpha");
+  EXPECT_EQ(vocab.IdOf("alpha"), a);
+  EXPECT_EQ(vocab.IdOf("beta"), b);
+  EXPECT_EQ(vocab.IdOf("gamma"), kUnknownToken);
+  EXPECT_EQ(vocab.CountOf(a), 2);
+  EXPECT_EQ(vocab.CountOf(b), 1);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.total_count(), 3);
+  EXPECT_EQ(vocab.TokenOf(a), "alpha");
+}
+
+TEST(VocabularyTest, TopKByFrequency) {
+  Vocabulary vocab;
+  for (int i = 0; i < 5; ++i) vocab.Add("common");
+  for (int i = 0; i < 2; ++i) vocab.Add("rare");
+  vocab.Add("unique");
+  const auto top = vocab.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(vocab.TokenOf(top[0]), "common");
+  EXPECT_EQ(vocab.TokenOf(top[1]), "rare");
+}
+
+}  // namespace
+}  // namespace wym::text

@@ -1,0 +1,286 @@
+// wym_cli — command-line front end for the WYM library.
+//
+//   wym_cli generate  --dataset S-WA --out /tmp/swa.csv [--seed 42]
+//                     [--scale 1.0]
+//   wym_cli train-eval --data /tmp/swa.csv [--save model.wym]
+//                     [--classifier LR]
+//                     [--encoder siamese|finetuned|pretrained]
+//                     [--scorer neural|binary|cosine] [--simplified]
+//                     [--theta T --eta E --epsilon P] [--code-rule]
+//   wym_cli explain   --data /tmp/swa.csv --record 5 [--json]
+//                     [--model model.wym | ... same model flags]
+//   wym_cli stats     --data /tmp/swa.csv [--model model.wym]
+//                     # global attribution report (attribute influence +
+//                     # recurring decision units)
+//   wym_cli profile   --data /tmp/swa.csv   # dataset quality profile
+//   wym_cli list      # available benchmark dataset ids
+//
+// train-eval / explain apply the paper's 60-20-20 split internally.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/unit_generator.h"
+#include "core/wym.h"
+#include "data/benchmark_gen.h"
+#include "data/csv.h"
+#include "data/statistics.h"
+#include "data/split.h"
+#include "explain/global.h"
+#include "explain/report.h"
+#include "ml/metrics.h"
+
+namespace {
+
+using namespace wym;
+
+/// Minimal --key value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // Boolean flag.
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    return Has(key) ? std::strtod(Get(key).c_str(), nullptr) : fallback;
+  }
+
+  uint64_t GetSeed() const {
+    return static_cast<uint64_t>(
+        std::strtoull(Get("seed", "42").c_str(), nullptr, 10));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wym_cli <generate|train-eval|explain|stats|profile|list> [flags]\n"
+               "see the header of tools/wym_cli.cc for the flag list\n");
+  return 2;
+}
+
+core::WymConfig ConfigFromArgs(const Args& args) {
+  core::WymConfig config;
+  const std::string encoder = args.Get("encoder", "siamese");
+  if (encoder == "pretrained") {
+    config.encoder.mode = embedding::EncoderMode::kPretrained;
+  } else if (encoder == "finetuned") {
+    config.encoder.mode = embedding::EncoderMode::kFineTuned;
+  } else if (encoder == "siamese") {
+    config.encoder.mode = embedding::EncoderMode::kSiamese;
+  } else if (encoder == "jaro-winkler") {
+    config.generator.similarity = core::PairingSimilarity::kJaroWinkler;
+  } else {
+    std::fprintf(stderr, "unknown --encoder %s\n", encoder.c_str());
+    std::exit(2);
+  }
+  const std::string scorer = args.Get("scorer", "neural");
+  if (scorer == "binary") {
+    config.scorer.kind = core::ScorerKind::kBinary;
+  } else if (scorer == "cosine") {
+    config.scorer.kind = core::ScorerKind::kCosine;
+  } else if (scorer != "neural") {
+    std::fprintf(stderr, "unknown --scorer %s\n", scorer.c_str());
+    std::exit(2);
+  }
+  config.simplified_features = args.Has("simplified");
+  config.classifier = args.Get("classifier", "");
+  config.generator.theta = args.GetDouble("theta", config.generator.theta);
+  config.generator.eta = args.GetDouble("eta", config.generator.eta);
+  config.generator.epsilon =
+      args.GetDouble("epsilon", config.generator.epsilon);
+  if (args.Has("code-rule")) {
+    config.generator.rules.push_back(core::EqualProductCodeRule());
+  }
+  return config;
+}
+
+data::Dataset LoadData(const Args& args) {
+  const std::string path = args.Get("data");
+  if (path.empty()) {
+    std::fprintf(stderr, "--data <csv> is required\n");
+    std::exit(2);
+  }
+  auto result = data::ReadDatasetCsv(path, path);
+  if (!result.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+int CmdList() {
+  std::printf("%-6s %-28s %-11s %9s %7s\n", "id", "name", "type",
+              "paper_sz", "match%");
+  for (const auto& spec : data::BenchmarkSpecs()) {
+    std::printf("%-6s %-28s %-11s %9zu %7.2f\n", spec.id.c_str(),
+                spec.full_name.c_str(), data::DatasetTypeName(spec.type),
+                spec.paper_size, spec.paper_match_percent);
+  }
+  return 0;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string id = args.Get("dataset");
+  const data::DatasetSpec* spec = data::FindSpec(id);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown --dataset '%s' (try: wym_cli list)\n",
+                 id.c_str());
+    return 2;
+  }
+  const std::string out = args.Get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out <csv> is required\n");
+    return 2;
+  }
+  const data::Dataset dataset = data::GenerateDataset(
+      *spec, args.GetSeed(), args.GetDouble("scale", 1.0));
+  const Status status = data::WriteDatasetCsv(dataset, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu records (%.1f%% match)\n", out.c_str(),
+              dataset.size(), dataset.MatchPercent());
+  return 0;
+}
+
+int CmdTrainEval(const Args& args) {
+  const data::Dataset dataset = LoadData(args);
+  const data::Split split = data::DefaultSplit(dataset, args.GetSeed());
+  core::WymModel model(ConfigFromArgs(args));
+  model.Fit(split.train, split.validation);
+
+  const std::vector<int> predicted = model.PredictDataset(split.test);
+  const auto confusion = ml::Confuse(split.test.Labels(), predicted);
+  std::printf("records: %zu train / %zu val / %zu test\n",
+              split.train.size(), split.validation.size(),
+              split.test.size());
+  std::printf("classifier: %s (validation F1 %.3f, threshold %.3f)\n",
+              model.matcher().best_name().c_str(),
+              model.matcher().best_validation_f1(),
+              model.matcher().best_threshold());
+  std::printf("test precision %.3f  recall %.3f  F1 %.3f\n",
+              ml::Precision(confusion), ml::Recall(confusion),
+              ml::F1(confusion));
+  if (args.Has("save")) {
+    const std::string out = args.Get("save");
+    const Status status = model.SaveToFile(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("model saved to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  const data::Dataset dataset = LoadData(args);
+  const size_t record_index = static_cast<size_t>(
+      std::strtoull(args.Get("record", "0").c_str(), nullptr, 10));
+  if (record_index >= dataset.size()) {
+    std::fprintf(stderr, "--record %zu out of range (%zu records)\n",
+                 record_index, dataset.size());
+    return 2;
+  }
+  core::WymModel model(ConfigFromArgs(args));
+  if (args.Has("model")) {
+    auto loaded = core::WymModel::LoadFromFile(args.Get("model"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    model = std::move(loaded).value();
+  } else {
+    const data::Split split = data::DefaultSplit(dataset, args.GetSeed());
+    model.Fit(split.train, split.validation);
+  }
+
+  const data::EmRecord& record = dataset.records[record_index];
+  for (size_t a = 0; a < dataset.schema.size(); ++a) {
+    std::printf("%-12s | %-34s | %s\n",
+                dataset.schema.attributes[a].c_str(),
+                record.left.values[a].c_str(),
+                record.right.values[a].c_str());
+  }
+  std::printf("label: %d\n\n", record.label);
+
+  const core::Explanation explanation = model.Explain(record);
+  if (args.Has("json")) {
+    std::printf("%s\n", explain::ExplanationToJson(explanation).c_str());
+  } else {
+    std::printf("%s", explain::RenderExplanation(explanation).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int CmdProfile(const Args& args) {
+  const data::Dataset dataset = LoadData(args);
+  std::printf("%s", data::RenderProfile(data::ProfileDataset(dataset)).c_str());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  const data::Dataset dataset = LoadData(args);
+  const data::Split split = data::DefaultSplit(dataset, args.GetSeed());
+  core::WymModel model(ConfigFromArgs(args));
+  if (args.Has("model")) {
+    auto loaded = core::WymModel::LoadFromFile(args.Get("model"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    model = std::move(loaded).value();
+  } else {
+    model.Fit(split.train, split.validation);
+  }
+  const explain::GlobalAttribution report =
+      explain::ComputeGlobalAttribution(model, split.test);
+  std::printf("%s", explain::RenderGlobalAttribution(report,
+                                                     dataset.schema).c_str());
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "list") return CmdList();
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "train-eval") return CmdTrainEval(args);
+  if (command == "explain") return CmdExplain(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "profile") return CmdProfile(args);
+  return Usage();
+}
