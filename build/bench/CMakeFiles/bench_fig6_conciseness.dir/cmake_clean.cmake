@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_conciseness.dir/bench_fig6_conciseness.cc.o"
+  "CMakeFiles/bench_fig6_conciseness.dir/bench_fig6_conciseness.cc.o.d"
+  "bench_fig6_conciseness"
+  "bench_fig6_conciseness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_conciseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

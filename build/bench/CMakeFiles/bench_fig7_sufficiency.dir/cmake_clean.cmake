@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sufficiency.dir/bench_fig7_sufficiency.cc.o"
+  "CMakeFiles/bench_fig7_sufficiency.dir/bench_fig7_sufficiency.cc.o.d"
+  "bench_fig7_sufficiency"
+  "bench_fig7_sufficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sufficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_landmark_corr.dir/bench_fig9_landmark_corr.cc.o"
+  "CMakeFiles/bench_fig9_landmark_corr.dir/bench_fig9_landmark_corr.cc.o.d"
+  "bench_fig9_landmark_corr"
+  "bench_fig9_landmark_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_landmark_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

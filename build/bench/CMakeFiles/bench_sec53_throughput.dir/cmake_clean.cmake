@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_throughput.dir/bench_sec53_throughput.cc.o"
+  "CMakeFiles/bench_sec53_throughput.dir/bench_sec53_throughput.cc.o.d"
+  "bench_sec53_throughput"
+  "bench_sec53_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/end_to_end_er.cpp" "examples/CMakeFiles/end_to_end_er.dir/end_to_end_er.cpp.o" "gcc" "examples/CMakeFiles/end_to_end_er.dir/end_to_end_er.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocking/CMakeFiles/wym_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/wym_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/wym_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wym_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/wym_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wym_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wym_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/wym_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/wym_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wym_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wym_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wym_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_er.dir/end_to_end_er.cpp.o"
+  "CMakeFiles/end_to_end_er.dir/end_to_end_er.cpp.o.d"
+  "end_to_end_er"
+  "end_to_end_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_table1.dir/paper_table1.cpp.o"
+  "CMakeFiles/paper_table1.dir/paper_table1.cpp.o.d"
+  "paper_table1"
+  "paper_table1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

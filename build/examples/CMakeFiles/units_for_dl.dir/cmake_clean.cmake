@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/units_for_dl.dir/units_for_dl.cpp.o"
+  "CMakeFiles/units_for_dl.dir/units_for_dl.cpp.o.d"
+  "units_for_dl"
+  "units_for_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/units_for_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/automl.cc" "src/baselines/CMakeFiles/wym_baselines.dir/automl.cc.o" "gcc" "src/baselines/CMakeFiles/wym_baselines.dir/automl.cc.o.d"
+  "/root/repo/src/baselines/cordel.cc" "src/baselines/CMakeFiles/wym_baselines.dir/cordel.cc.o" "gcc" "src/baselines/CMakeFiles/wym_baselines.dir/cordel.cc.o.d"
+  "/root/repo/src/baselines/ditto.cc" "src/baselines/CMakeFiles/wym_baselines.dir/ditto.cc.o" "gcc" "src/baselines/CMakeFiles/wym_baselines.dir/ditto.cc.o.d"
+  "/root/repo/src/baselines/dm_plus.cc" "src/baselines/CMakeFiles/wym_baselines.dir/dm_plus.cc.o" "gcc" "src/baselines/CMakeFiles/wym_baselines.dir/dm_plus.cc.o.d"
+  "/root/repo/src/baselines/similarity_features.cc" "src/baselines/CMakeFiles/wym_baselines.dir/similarity_features.cc.o" "gcc" "src/baselines/CMakeFiles/wym_baselines.dir/similarity_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wym_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wym_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/wym_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/wym_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wym_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wym_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wym_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wym_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/wym_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

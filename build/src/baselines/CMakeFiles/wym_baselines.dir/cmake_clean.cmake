@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_baselines.dir/automl.cc.o"
+  "CMakeFiles/wym_baselines.dir/automl.cc.o.d"
+  "CMakeFiles/wym_baselines.dir/cordel.cc.o"
+  "CMakeFiles/wym_baselines.dir/cordel.cc.o.d"
+  "CMakeFiles/wym_baselines.dir/ditto.cc.o"
+  "CMakeFiles/wym_baselines.dir/ditto.cc.o.d"
+  "CMakeFiles/wym_baselines.dir/dm_plus.cc.o"
+  "CMakeFiles/wym_baselines.dir/dm_plus.cc.o.d"
+  "CMakeFiles/wym_baselines.dir/similarity_features.cc.o"
+  "CMakeFiles/wym_baselines.dir/similarity_features.cc.o.d"
+  "libwym_baselines.a"
+  "libwym_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_blocking.dir/blocker.cc.o"
+  "CMakeFiles/wym_blocking.dir/blocker.cc.o.d"
+  "libwym_blocking.a"
+  "libwym_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

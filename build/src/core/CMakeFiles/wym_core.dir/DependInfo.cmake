@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decision_unit.cc" "src/core/CMakeFiles/wym_core.dir/decision_unit.cc.o" "gcc" "src/core/CMakeFiles/wym_core.dir/decision_unit.cc.o.d"
+  "/root/repo/src/core/explainable_matcher.cc" "src/core/CMakeFiles/wym_core.dir/explainable_matcher.cc.o" "gcc" "src/core/CMakeFiles/wym_core.dir/explainable_matcher.cc.o.d"
+  "/root/repo/src/core/feature_extractor.cc" "src/core/CMakeFiles/wym_core.dir/feature_extractor.cc.o" "gcc" "src/core/CMakeFiles/wym_core.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/core/relevance_scorer.cc" "src/core/CMakeFiles/wym_core.dir/relevance_scorer.cc.o" "gcc" "src/core/CMakeFiles/wym_core.dir/relevance_scorer.cc.o.d"
+  "/root/repo/src/core/tokenized_record.cc" "src/core/CMakeFiles/wym_core.dir/tokenized_record.cc.o" "gcc" "src/core/CMakeFiles/wym_core.dir/tokenized_record.cc.o.d"
+  "/root/repo/src/core/unit_generator.cc" "src/core/CMakeFiles/wym_core.dir/unit_generator.cc.o" "gcc" "src/core/CMakeFiles/wym_core.dir/unit_generator.cc.o.d"
+  "/root/repo/src/core/wym.cc" "src/core/CMakeFiles/wym_core.dir/wym.cc.o" "gcc" "src/core/CMakeFiles/wym_core.dir/wym.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wym_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wym_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/wym_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/wym_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wym_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wym_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/wym_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wym_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_core.dir/decision_unit.cc.o"
+  "CMakeFiles/wym_core.dir/decision_unit.cc.o.d"
+  "CMakeFiles/wym_core.dir/explainable_matcher.cc.o"
+  "CMakeFiles/wym_core.dir/explainable_matcher.cc.o.d"
+  "CMakeFiles/wym_core.dir/feature_extractor.cc.o"
+  "CMakeFiles/wym_core.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/wym_core.dir/relevance_scorer.cc.o"
+  "CMakeFiles/wym_core.dir/relevance_scorer.cc.o.d"
+  "CMakeFiles/wym_core.dir/tokenized_record.cc.o"
+  "CMakeFiles/wym_core.dir/tokenized_record.cc.o.d"
+  "CMakeFiles/wym_core.dir/unit_generator.cc.o"
+  "CMakeFiles/wym_core.dir/unit_generator.cc.o.d"
+  "CMakeFiles/wym_core.dir/wym.cc.o"
+  "CMakeFiles/wym_core.dir/wym.cc.o.d"
+  "libwym_core.a"
+  "libwym_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

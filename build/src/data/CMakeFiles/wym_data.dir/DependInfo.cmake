@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augmentation.cc" "src/data/CMakeFiles/wym_data.dir/augmentation.cc.o" "gcc" "src/data/CMakeFiles/wym_data.dir/augmentation.cc.o.d"
+  "/root/repo/src/data/benchmark_gen.cc" "src/data/CMakeFiles/wym_data.dir/benchmark_gen.cc.o" "gcc" "src/data/CMakeFiles/wym_data.dir/benchmark_gen.cc.o.d"
+  "/root/repo/src/data/catalog.cc" "src/data/CMakeFiles/wym_data.dir/catalog.cc.o" "gcc" "src/data/CMakeFiles/wym_data.dir/catalog.cc.o.d"
+  "/root/repo/src/data/corruption.cc" "src/data/CMakeFiles/wym_data.dir/corruption.cc.o" "gcc" "src/data/CMakeFiles/wym_data.dir/corruption.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/wym_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/wym_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/data/CMakeFiles/wym_data.dir/record.cc.o" "gcc" "src/data/CMakeFiles/wym_data.dir/record.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/wym_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/wym_data.dir/split.cc.o.d"
+  "/root/repo/src/data/statistics.cc" "src/data/CMakeFiles/wym_data.dir/statistics.cc.o" "gcc" "src/data/CMakeFiles/wym_data.dir/statistics.cc.o.d"
+  "/root/repo/src/data/word_pools.cc" "src/data/CMakeFiles/wym_data.dir/word_pools.cc.o" "gcc" "src/data/CMakeFiles/wym_data.dir/word_pools.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wym_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wym_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_data.dir/augmentation.cc.o"
+  "CMakeFiles/wym_data.dir/augmentation.cc.o.d"
+  "CMakeFiles/wym_data.dir/benchmark_gen.cc.o"
+  "CMakeFiles/wym_data.dir/benchmark_gen.cc.o.d"
+  "CMakeFiles/wym_data.dir/catalog.cc.o"
+  "CMakeFiles/wym_data.dir/catalog.cc.o.d"
+  "CMakeFiles/wym_data.dir/corruption.cc.o"
+  "CMakeFiles/wym_data.dir/corruption.cc.o.d"
+  "CMakeFiles/wym_data.dir/csv.cc.o"
+  "CMakeFiles/wym_data.dir/csv.cc.o.d"
+  "CMakeFiles/wym_data.dir/record.cc.o"
+  "CMakeFiles/wym_data.dir/record.cc.o.d"
+  "CMakeFiles/wym_data.dir/split.cc.o"
+  "CMakeFiles/wym_data.dir/split.cc.o.d"
+  "CMakeFiles/wym_data.dir/statistics.cc.o"
+  "CMakeFiles/wym_data.dir/statistics.cc.o.d"
+  "CMakeFiles/wym_data.dir/word_pools.cc.o"
+  "CMakeFiles/wym_data.dir/word_pools.cc.o.d"
+  "libwym_data.a"
+  "libwym_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

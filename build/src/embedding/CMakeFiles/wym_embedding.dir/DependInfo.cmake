@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/context_mixer.cc" "src/embedding/CMakeFiles/wym_embedding.dir/context_mixer.cc.o" "gcc" "src/embedding/CMakeFiles/wym_embedding.dir/context_mixer.cc.o.d"
+  "/root/repo/src/embedding/cooc_embedder.cc" "src/embedding/CMakeFiles/wym_embedding.dir/cooc_embedder.cc.o" "gcc" "src/embedding/CMakeFiles/wym_embedding.dir/cooc_embedder.cc.o.d"
+  "/root/repo/src/embedding/hash_embedder.cc" "src/embedding/CMakeFiles/wym_embedding.dir/hash_embedder.cc.o" "gcc" "src/embedding/CMakeFiles/wym_embedding.dir/hash_embedder.cc.o.d"
+  "/root/repo/src/embedding/semantic_encoder.cc" "src/embedding/CMakeFiles/wym_embedding.dir/semantic_encoder.cc.o" "gcc" "src/embedding/CMakeFiles/wym_embedding.dir/semantic_encoder.cc.o.d"
+  "/root/repo/src/embedding/siamese_calibrator.cc" "src/embedding/CMakeFiles/wym_embedding.dir/siamese_calibrator.cc.o" "gcc" "src/embedding/CMakeFiles/wym_embedding.dir/siamese_calibrator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wym_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wym_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/wym_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_embedding.dir/context_mixer.cc.o"
+  "CMakeFiles/wym_embedding.dir/context_mixer.cc.o.d"
+  "CMakeFiles/wym_embedding.dir/cooc_embedder.cc.o"
+  "CMakeFiles/wym_embedding.dir/cooc_embedder.cc.o.d"
+  "CMakeFiles/wym_embedding.dir/hash_embedder.cc.o"
+  "CMakeFiles/wym_embedding.dir/hash_embedder.cc.o.d"
+  "CMakeFiles/wym_embedding.dir/semantic_encoder.cc.o"
+  "CMakeFiles/wym_embedding.dir/semantic_encoder.cc.o.d"
+  "CMakeFiles/wym_embedding.dir/siamese_calibrator.cc.o"
+  "CMakeFiles/wym_embedding.dir/siamese_calibrator.cc.o.d"
+  "libwym_embedding.a"
+  "libwym_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

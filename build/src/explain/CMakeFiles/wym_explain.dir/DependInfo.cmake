@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explain/counterfactual.cc" "src/explain/CMakeFiles/wym_explain.dir/counterfactual.cc.o" "gcc" "src/explain/CMakeFiles/wym_explain.dir/counterfactual.cc.o.d"
+  "/root/repo/src/explain/evaluation.cc" "src/explain/CMakeFiles/wym_explain.dir/evaluation.cc.o" "gcc" "src/explain/CMakeFiles/wym_explain.dir/evaluation.cc.o.d"
+  "/root/repo/src/explain/global.cc" "src/explain/CMakeFiles/wym_explain.dir/global.cc.o" "gcc" "src/explain/CMakeFiles/wym_explain.dir/global.cc.o.d"
+  "/root/repo/src/explain/landmark.cc" "src/explain/CMakeFiles/wym_explain.dir/landmark.cc.o" "gcc" "src/explain/CMakeFiles/wym_explain.dir/landmark.cc.o.d"
+  "/root/repo/src/explain/lime.cc" "src/explain/CMakeFiles/wym_explain.dir/lime.cc.o" "gcc" "src/explain/CMakeFiles/wym_explain.dir/lime.cc.o.d"
+  "/root/repo/src/explain/report.cc" "src/explain/CMakeFiles/wym_explain.dir/report.cc.o" "gcc" "src/explain/CMakeFiles/wym_explain.dir/report.cc.o.d"
+  "/root/repo/src/explain/token_explanation.cc" "src/explain/CMakeFiles/wym_explain.dir/token_explanation.cc.o" "gcc" "src/explain/CMakeFiles/wym_explain.dir/token_explanation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wym_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wym_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/wym_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wym_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wym_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wym_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/wym_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wym_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/wym_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_explain.dir/counterfactual.cc.o"
+  "CMakeFiles/wym_explain.dir/counterfactual.cc.o.d"
+  "CMakeFiles/wym_explain.dir/evaluation.cc.o"
+  "CMakeFiles/wym_explain.dir/evaluation.cc.o.d"
+  "CMakeFiles/wym_explain.dir/global.cc.o"
+  "CMakeFiles/wym_explain.dir/global.cc.o.d"
+  "CMakeFiles/wym_explain.dir/landmark.cc.o"
+  "CMakeFiles/wym_explain.dir/landmark.cc.o.d"
+  "CMakeFiles/wym_explain.dir/lime.cc.o"
+  "CMakeFiles/wym_explain.dir/lime.cc.o.d"
+  "CMakeFiles/wym_explain.dir/report.cc.o"
+  "CMakeFiles/wym_explain.dir/report.cc.o.d"
+  "CMakeFiles/wym_explain.dir/token_explanation.cc.o"
+  "CMakeFiles/wym_explain.dir/token_explanation.cc.o.d"
+  "libwym_explain.a"
+  "libwym_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/eigen.cc" "src/la/CMakeFiles/wym_la.dir/eigen.cc.o" "gcc" "src/la/CMakeFiles/wym_la.dir/eigen.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/la/CMakeFiles/wym_la.dir/matrix.cc.o" "gcc" "src/la/CMakeFiles/wym_la.dir/matrix.cc.o.d"
+  "/root/repo/src/la/sparse_matrix.cc" "src/la/CMakeFiles/wym_la.dir/sparse_matrix.cc.o" "gcc" "src/la/CMakeFiles/wym_la.dir/sparse_matrix.cc.o.d"
+  "/root/repo/src/la/vector_ops.cc" "src/la/CMakeFiles/wym_la.dir/vector_ops.cc.o" "gcc" "src/la/CMakeFiles/wym_la.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wym_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

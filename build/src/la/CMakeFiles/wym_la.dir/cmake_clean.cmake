@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_la.dir/eigen.cc.o"
+  "CMakeFiles/wym_la.dir/eigen.cc.o.d"
+  "CMakeFiles/wym_la.dir/matrix.cc.o"
+  "CMakeFiles/wym_la.dir/matrix.cc.o.d"
+  "CMakeFiles/wym_la.dir/sparse_matrix.cc.o"
+  "CMakeFiles/wym_la.dir/sparse_matrix.cc.o.d"
+  "CMakeFiles/wym_la.dir/vector_ops.cc.o"
+  "CMakeFiles/wym_la.dir/vector_ops.cc.o.d"
+  "libwym_la.a"
+  "libwym_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

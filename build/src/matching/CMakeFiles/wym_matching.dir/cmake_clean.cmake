@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_matching.dir/stable_marriage.cc.o"
+  "CMakeFiles/wym_matching.dir/stable_marriage.cc.o.d"
+  "libwym_matching.a"
+  "libwym_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

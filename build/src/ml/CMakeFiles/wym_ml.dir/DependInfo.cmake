@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/boosting.cc" "src/ml/CMakeFiles/wym_ml.dir/boosting.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/boosting.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/wym_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/classifier_pool.cc" "src/ml/CMakeFiles/wym_ml.dir/classifier_pool.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/classifier_pool.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/ml/CMakeFiles/wym_ml.dir/forest.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/forest.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/wym_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/lda.cc" "src/ml/CMakeFiles/wym_ml.dir/lda.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/lda.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/wym_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/wym_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/wym_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/wym_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/wym_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/wym_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wym_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/wym_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_ml.dir/boosting.cc.o"
+  "CMakeFiles/wym_ml.dir/boosting.cc.o.d"
+  "CMakeFiles/wym_ml.dir/classifier.cc.o"
+  "CMakeFiles/wym_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/wym_ml.dir/classifier_pool.cc.o"
+  "CMakeFiles/wym_ml.dir/classifier_pool.cc.o.d"
+  "CMakeFiles/wym_ml.dir/forest.cc.o"
+  "CMakeFiles/wym_ml.dir/forest.cc.o.d"
+  "CMakeFiles/wym_ml.dir/knn.cc.o"
+  "CMakeFiles/wym_ml.dir/knn.cc.o.d"
+  "CMakeFiles/wym_ml.dir/lda.cc.o"
+  "CMakeFiles/wym_ml.dir/lda.cc.o.d"
+  "CMakeFiles/wym_ml.dir/linear.cc.o"
+  "CMakeFiles/wym_ml.dir/linear.cc.o.d"
+  "CMakeFiles/wym_ml.dir/metrics.cc.o"
+  "CMakeFiles/wym_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/wym_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/wym_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/wym_ml.dir/scaler.cc.o"
+  "CMakeFiles/wym_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/wym_ml.dir/tree.cc.o"
+  "CMakeFiles/wym_ml.dir/tree.cc.o.d"
+  "libwym_ml.a"
+  "libwym_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_nn.dir/mlp.cc.o"
+  "CMakeFiles/wym_nn.dir/mlp.cc.o.d"
+  "libwym_nn.a"
+  "libwym_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

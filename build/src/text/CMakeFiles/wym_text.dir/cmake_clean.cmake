@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_text.dir/string_metrics.cc.o"
+  "CMakeFiles/wym_text.dir/string_metrics.cc.o.d"
+  "CMakeFiles/wym_text.dir/tokenizer.cc.o"
+  "CMakeFiles/wym_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/wym_text.dir/vocabulary.cc.o"
+  "CMakeFiles/wym_text.dir/vocabulary.cc.o.d"
+  "libwym_text.a"
+  "libwym_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

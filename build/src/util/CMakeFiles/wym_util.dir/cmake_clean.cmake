@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_util.dir/stats.cc.o"
+  "CMakeFiles/wym_util.dir/stats.cc.o.d"
+  "CMakeFiles/wym_util.dir/status.cc.o"
+  "CMakeFiles/wym_util.dir/status.cc.o.d"
+  "CMakeFiles/wym_util.dir/string_util.cc.o"
+  "CMakeFiles/wym_util.dir/string_util.cc.o.d"
+  "CMakeFiles/wym_util.dir/table.cc.o"
+  "CMakeFiles/wym_util.dir/table.cc.o.d"
+  "libwym_util.a"
+  "libwym_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wym_cli.dir/wym_cli.cc.o"
+  "CMakeFiles/wym_cli.dir/wym_cli.cc.o.d"
+  "wym_cli"
+  "wym_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wym_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
