@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "ml/metrics.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace wym::bench {
@@ -46,6 +47,27 @@ core::WymModel TrainWym(const PreparedData& data,
 double TestF1(const core::Matcher& matcher, const data::Split& split) {
   return ml::F1Score(split.test.Labels(),
                      matcher.PredictDataset(split.test));
+}
+
+double TestF1(const core::WymModel& model, const data::Split& split,
+              util::ThreadPool* pool) {
+  const std::vector<double> probabilities =
+      model.PredictProbaBatch(split.test, pool);
+  std::vector<int> predicted(probabilities.size());
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    predicted[i] = probabilities[i] >= 0.5 ? 1 : 0;
+  }
+  return ml::F1Score(split.test.Labels(), predicted);
+}
+
+double ExplainRecPerSec(const core::WymModel& model,
+                        const data::Dataset& sample, util::ThreadPool* pool) {
+  if (sample.size() == 0) return 0.0;
+  Stopwatch watch;
+  const std::vector<core::Explanation> explanations =
+      model.ExplainBatch(sample, pool);
+  const double seconds = watch.ElapsedSeconds();
+  return static_cast<double>(explanations.size()) / std::max(seconds, 1e-9);
 }
 
 data::Dataset Head(const data::Dataset& dataset, size_t limit) {

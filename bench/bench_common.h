@@ -8,12 +8,15 @@
 #include "core/wym.h"
 #include "data/benchmark_gen.h"
 #include "data/split.h"
+#include "util/thread_pool.h"
 
 /// \file
 /// Shared plumbing for the table/figure harnesses. Environment knobs:
 ///   WYM_SCALE    — multiplies every dataset's default size (default 1).
 ///   WYM_DATASETS — comma-separated ids to restrict a run, e.g.
 ///                  "S-DA,S-FZ" (default: all 12).
+///   WYM_THREADS  — sizes the global thread pool used by the batch
+///                  prediction/explanation paths (default: all cores).
 
 namespace wym::bench {
 
@@ -38,8 +41,19 @@ PreparedData Prepare(const data::DatasetSpec& spec, double scale,
 core::WymModel TrainWym(const PreparedData& data,
                         const core::WymConfig& config = {});
 
-/// Test-set F1 of any matcher.
+/// Test-set F1 of any matcher (via the virtual PredictDataset, which is
+/// the parallel batch path for WymModel).
 double TestF1(const core::Matcher& matcher, const data::Split& split);
+
+/// Test-set F1 of a WymModel explicitly through PredictProbaBatch on
+/// `pool` (nullptr = the global WYM_THREADS pool).
+double TestF1(const core::WymModel& model, const data::Split& split,
+              util::ThreadPool* pool);
+
+/// Explanation throughput (records/second) of ExplainBatch over `sample`
+/// on `pool` (nullptr = the global pool).
+double ExplainRecPerSec(const core::WymModel& model,
+                        const data::Dataset& sample, util::ThreadPool* pool);
 
 /// Takes the first `limit` records of a dataset (or all).
 data::Dataset Head(const data::Dataset& dataset, size_t limit);

@@ -34,8 +34,10 @@ class Matcher {
     return PredictProba(record) >= 0.5 ? 1 : 0;
   }
 
-  /// Hard predictions for a whole dataset.
-  std::vector<int> PredictDataset(const data::Dataset& dataset) const {
+  /// Hard predictions for a whole dataset. Virtual so systems with a
+  /// parallel batch path (WymModel) can fan the records across the
+  /// thread pool; the default is the sequential record loop.
+  virtual std::vector<int> PredictDataset(const data::Dataset& dataset) const {
     std::vector<int> out;
     out.reserve(dataset.records.size());
     for (const auto& record : dataset.records) {

@@ -39,27 +39,33 @@ void WymModel::Fit(const data::Dataset& train,
   matcher_ = ExplainableMatcher(num_attributes_, config_.simplified_features,
                                 matcher_options);
 
-  // 1. Tokenize the training corpus and fit the encoder on it.
-  std::vector<TokenizedRecord> train_tokens;
-  train_tokens.reserve(train.size());
-  std::vector<std::vector<std::string>> corpus;
-  corpus.reserve(2 * train.size());
-  for (const auto& record : train.records) {
-    TokenizedRecord tokenized =
-        TokenizeRecord(record, train.schema, tokenizer_);
-    corpus.push_back(tokenized.left.tokens);
-    corpus.push_back(tokenized.right.tokens);
-    train_tokens.push_back(std::move(tokenized));
-  }
+  // 1. Tokenize the training corpus and fit the encoder on it. Records
+  // tokenize independently; results are written by record index so the
+  // corpus order matches the sequential loop exactly.
+  std::vector<TokenizedRecord> train_tokens(train.size());
+  std::vector<std::vector<std::string>> corpus(2 * train.size());
+  util::ParallelFor(
+      train.size(), /*grain=*/16, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          TokenizedRecord tokenized =
+              TokenizeRecord(train.records[i], train.schema, tokenizer_);
+          corpus[2 * i] = tokenized.left.tokens;
+          corpus[2 * i + 1] = tokenized.right.tokens;
+          train_tokens[i] = std::move(tokenized);
+        }
+      });
   encoder_.Fit(corpus);
 
   // 2. Encode; then (kSiamese) calibrate on pooled pair embeddings and
   // re-encode with the calibrated metric.
   auto encode_all = [this](std::vector<TokenizedRecord>* records) {
-    for (auto& record : *records) {
-      EncodeEntity(encoder_, &record.left);
-      EncodeEntity(encoder_, &record.right);
-    }
+    util::ParallelFor(
+        records->size(), /*grain=*/8, [&](size_t begin, size_t end, size_t) {
+          for (size_t i = begin; i < end; ++i) {
+            EncodeEntity(encoder_, &(*records)[i].left);
+            EncodeEntity(encoder_, &(*records)[i].right);
+          }
+        });
   };
   encode_all(&train_tokens);
   if (config_.encoder.mode == embedding::EncoderMode::kSiamese) {
@@ -79,12 +85,14 @@ void WymModel::Fit(const data::Dataset& train,
   }
 
   // 3. Discover decision units (Algorithm 1) on every training record.
-  std::vector<std::vector<DecisionUnit>> train_units;
-  train_units.reserve(train_tokens.size());
-  for (const auto& record : train_tokens) {
-    train_units.push_back(
-        generator_.Generate(record.left, record.right, num_attributes_));
-  }
+  std::vector<std::vector<DecisionUnit>> train_units(train_tokens.size());
+  util::ParallelFor(
+      train_tokens.size(), /*grain=*/8, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          train_units[i] = generator_.Generate(
+              train_tokens[i].left, train_tokens[i].right, num_attributes_);
+        }
+      });
 
   // 4. Fit the relevance scorer (Eq. 2/3 targets).
   scorer_.Fit(train_tokens, train_units);
@@ -93,26 +101,33 @@ void WymModel::Fit(const data::Dataset& train,
   auto scored_sets = [&](const std::vector<TokenizedRecord>& records,
                          const std::vector<std::vector<DecisionUnit>>& units) {
     std::vector<ScoredUnitSet> sets(records.size());
-    for (size_t i = 0; i < records.size(); ++i) {
-      sets[i].units = units[i];
-      sets[i].scores = scorer_.Score(records[i], units[i]);
-    }
+    util::ParallelFor(
+        records.size(), /*grain=*/8, [&](size_t begin, size_t end, size_t) {
+          for (size_t i = begin; i < end; ++i) {
+            sets[i].units = units[i];
+            sets[i].scores = scorer_.Score(records[i], units[i]);
+          }
+        });
     return sets;
   };
   const std::vector<ScoredUnitSet> train_sets =
       scored_sets(train_tokens, train_units);
 
-  std::vector<TokenizedRecord> val_tokens;
-  std::vector<std::vector<DecisionUnit>> val_units;
-  for (const auto& record : validation.records) {
-    TokenizedRecord tokenized =
-        TokenizeRecord(record, validation.schema, tokenizer_);
-    EncodeEntity(encoder_, &tokenized.left);
-    EncodeEntity(encoder_, &tokenized.right);
-    val_units.push_back(
-        generator_.Generate(tokenized.left, tokenized.right, num_attributes_));
-    val_tokens.push_back(std::move(tokenized));
-  }
+  std::vector<TokenizedRecord> val_tokens(validation.size());
+  std::vector<std::vector<DecisionUnit>> val_units(validation.size());
+  util::ParallelFor(
+      validation.size(), /*grain=*/8, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          TokenizedRecord tokenized =
+              TokenizeRecord(validation.records[i], validation.schema,
+                             tokenizer_);
+          EncodeEntity(encoder_, &tokenized.left);
+          EncodeEntity(encoder_, &tokenized.right);
+          val_units[i] = generator_.Generate(tokenized.left, tokenized.right,
+                                             num_attributes_);
+          val_tokens[i] = std::move(tokenized);
+        }
+      });
   const std::vector<ScoredUnitSet> val_sets =
       scored_sets(val_tokens, val_units);
 
@@ -170,6 +185,45 @@ Explanation WymModel::Explain(const data::EmRecord& record) const {
   out.units.reserve(set.size());
   for (size_t u = 0; u < set.size(); ++u) {
     out.units.push_back({set.units[u], set.scores[u], impacts[u]});
+  }
+  return out;
+}
+
+std::vector<double> WymModel::PredictProbaBatch(const data::Dataset& dataset,
+                                                util::ThreadPool* pool) const {
+  WYM_CHECK(fitted_) << "WymModel used before Fit";
+  std::vector<double> out(dataset.size());
+  util::ParallelFor(
+      dataset.size(), /*grain=*/1,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          out[i] = PredictProba(dataset.records[i]);
+        }
+      },
+      pool);
+  return out;
+}
+
+std::vector<Explanation> WymModel::ExplainBatch(const data::Dataset& dataset,
+                                                util::ThreadPool* pool) const {
+  WYM_CHECK(fitted_) << "WymModel used before Fit";
+  std::vector<Explanation> out(dataset.size());
+  util::ParallelFor(
+      dataset.size(), /*grain=*/1,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          out[i] = Explain(dataset.records[i]);
+        }
+      },
+      pool);
+  return out;
+}
+
+std::vector<int> WymModel::PredictDataset(const data::Dataset& dataset) const {
+  const std::vector<double> probabilities = PredictProbaBatch(dataset);
+  std::vector<int> out(probabilities.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = probabilities[i] >= 0.5 ? 1 : 0;
   }
   return out;
 }

@@ -13,6 +13,7 @@
 #include "data/record.h"
 #include "embedding/semantic_encoder.h"
 #include "text/tokenizer.h"
+#include "util/parallel.h"
 #include "util/serde.h"
 #include "util/status.h"
 
@@ -99,6 +100,25 @@ class WymModel : public Matcher {
 
   /// Prediction + decision units with relevance and impact scores.
   Explanation Explain(const data::EmRecord& record) const;
+
+  /// --- batch APIs (deterministic parallel runtime) ---
+  ///
+  /// Each record's tokenize -> encode -> units -> score -> classify
+  /// chain is independent, so the batch APIs fan records across `pool`
+  /// (the global WYM_THREADS pool when nullptr) and write results by
+  /// record index. Output is bit-identical to the sequential per-record
+  /// calls at every thread count — see DESIGN.md "Threading model".
+
+  /// Matching probabilities for every record of `dataset`, in order.
+  std::vector<double> PredictProbaBatch(const data::Dataset& dataset,
+                                        util::ThreadPool* pool = nullptr) const;
+
+  /// Explanations for every record of `dataset`, in order.
+  std::vector<Explanation> ExplainBatch(const data::Dataset& dataset,
+                                        util::ThreadPool* pool = nullptr) const;
+
+  /// Hard predictions through the parallel batch path.
+  std::vector<int> PredictDataset(const data::Dataset& dataset) const override;
 
   /// --- lower-level hooks used by the evaluation harnesses ---
 

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <utility>
 
 #include "la/eigen.h"
 #include "la/sparse_matrix.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace wym::embedding {
 
@@ -34,32 +36,62 @@ void CoocEmbedder::Fit(const std::vector<std::vector<std::string>>& sentences) {
     return;
   }
 
-  // Pass 2: windowed co-occurrence counts (distance-discounted).
+  // Pass 2: windowed co-occurrence counts (distance-discounted), sharded
+  // over fixed sentence ranges. Each shard accumulates into private
+  // maps; shards are then merged in shard-index order, so the counts
+  // are bit-identical at every thread count (the shard structure
+  // depends only on the corpus size, never on WYM_THREADS).
+  struct CoocShard {
+    std::unordered_map<uint64_t, double> cooc;
+    std::vector<double> row_sum;
+    double total = 0.0;
+  };
+  constexpr size_t kShardGrain = 256;  // Sentences per shard.
+  std::vector<CoocShard> shards(util::NumChunks(sentences.size(), kShardGrain));
+  util::ParallelFor(
+      sentences.size(), kShardGrain,
+      [&](size_t begin, size_t end, size_t shard_index) {
+        CoocShard& shard = shards[shard_index];
+        shard.row_sum.assign(n, 0.0);
+        std::vector<int32_t> ids;
+        for (size_t s = begin; s < end; ++s) {
+          const auto& sentence = sentences[s];
+          ids.clear();
+          ids.reserve(sentence.size());
+          for (const auto& token : sentence) {
+            const int32_t vid = vocab_.IdOf(token);
+            ids.push_back(vid >= 0 ? kept_id_[vid] : -1);
+          }
+          for (size_t i = 0; i < ids.size(); ++i) {
+            if (ids[i] < 0) continue;
+            const size_t hi = std::min(ids.size(), i + 1 + options_.window);
+            for (size_t j = i + 1; j < hi; ++j) {
+              if (ids[j] < 0) continue;
+              const double weight = 1.0 / static_cast<double>(j - i);
+              const uint32_t a =
+                  static_cast<uint32_t>(std::min(ids[i], ids[j]));
+              const uint32_t b =
+                  static_cast<uint32_t>(std::max(ids[i], ids[j]));
+              shard.cooc[(static_cast<uint64_t>(a) << 32) | b] += weight;
+              shard.row_sum[a] += weight;
+              shard.row_sum[b] += weight;
+              shard.total += 2.0 * weight;
+            }
+          }
+        }
+      });
+
+  // Ordered reduction: shard 0, 1, 2, ... regardless of which worker
+  // produced which shard.
   std::unordered_map<uint64_t, double> cooc;
   std::vector<double> row_sum(n, 0.0);
   double total = 0.0;
-  for (const auto& sentence : sentences) {
-    std::vector<int32_t> ids;
-    ids.reserve(sentence.size());
-    for (const auto& token : sentence) {
-      const int32_t vid = vocab_.IdOf(token);
-      ids.push_back(vid >= 0 ? kept_id_[vid] : -1);
-    }
-    for (size_t i = 0; i < ids.size(); ++i) {
-      if (ids[i] < 0) continue;
-      const size_t hi = std::min(ids.size(), i + 1 + options_.window);
-      for (size_t j = i + 1; j < hi; ++j) {
-        if (ids[j] < 0) continue;
-        const double weight = 1.0 / static_cast<double>(j - i);
-        const uint32_t a = static_cast<uint32_t>(std::min(ids[i], ids[j]));
-        const uint32_t b = static_cast<uint32_t>(std::max(ids[i], ids[j]));
-        cooc[(static_cast<uint64_t>(a) << 32) | b] += weight;
-        row_sum[a] += weight;
-        row_sum[b] += weight;
-        total += 2.0 * weight;
-      }
-    }
+  for (const CoocShard& shard : shards) {
+    for (const auto& [key, weight] : shard.cooc) cooc[key] += weight;
+    for (size_t i = 0; i < n; ++i) row_sum[i] += shard.row_sum[i];
+    total += shard.total;
   }
+  shards.clear();
   if (total == 0.0) {
     // Degenerate corpus (all sentences length 1): embeddings stay zero.
     vectors_.assign(n, la::Zeros(options_.dim));
@@ -76,8 +108,15 @@ void CoocEmbedder::Fit(const std::vector<std::vector<std::string>>& sentences) {
   }
   for (double& p : context_prob) p /= smoothed_total;
 
+  // Build the PPMI matrix from key-sorted entries: the append order into
+  // each sparse row (and hence every downstream floating-point sum in
+  // MultiplyDense) is fixed by the data, not by hash-map iteration.
+  std::vector<std::pair<uint64_t, double>> entries(cooc.begin(), cooc.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+
   la::SparseMatrix ppmi(n);
-  for (const auto& [key, count] : cooc) {
+  for (const auto& [key, count] : entries) {
     const uint32_t a = static_cast<uint32_t>(key >> 32);
     const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
     const double p_ab = count / total;

@@ -42,7 +42,37 @@ void SemanticEncoder::Fit(
   if (options_.mode != EncoderMode::kPretrained) {
     cooc_.Fit(sentences);
   }
+  cache_.Clear();  // Fitting the cooc table changes BaseEmbed output.
   fitted_ = true;
+}
+
+bool SemanticEncoder::TokenEmbeddingCache::Lookup(const std::string& token,
+                                                  la::Vec* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(token);
+  if (it == map_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SemanticEncoder::TokenEmbeddingCache::Insert(const std::string& token,
+                                                  const la::Vec& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.size() >= kMaxEntries) return;  // Full: serve misses uncached.
+  map_.emplace(token, value);
+}
+
+void SemanticEncoder::TokenEmbeddingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+la::Vec SemanticEncoder::CachedBaseEmbed(const std::string& token) const {
+  la::Vec out;
+  if (cache_.Lookup(token, &out)) return out;
+  out = BaseEmbed(token);
+  cache_.Insert(token, out);
+  return out;
 }
 
 void SemanticEncoder::FitSiamese(
@@ -103,7 +133,7 @@ la::Vec SemanticEncoder::BaseEmbed(const std::string& token) const {
 
 la::Vec SemanticEncoder::EncodeTokenIsolated(const std::string& token) const {
   WYM_CHECK(fitted_) << "SemanticEncoder used before Fit";
-  return BaseEmbed(token);
+  return CachedBaseEmbed(token);
 }
 
 std::vector<la::Vec> SemanticEncoder::EncodeTokens(
@@ -111,7 +141,7 @@ std::vector<la::Vec> SemanticEncoder::EncodeTokens(
   WYM_CHECK(fitted_) << "SemanticEncoder used before Fit";
   std::vector<la::Vec> base;
   base.reserve(tokens.size());
-  for (const auto& token : tokens) base.push_back(BaseEmbed(token));
+  for (const auto& token : tokens) base.push_back(CachedBaseEmbed(token));
 
   std::vector<la::Vec> mixed = mixer_.Mix(base);
   if (options_.mode == EncoderMode::kSiamese && calibrator_.fitted()) {

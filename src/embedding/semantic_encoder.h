@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -96,7 +98,40 @@ class SemanticEncoder {
   bool fitted() const { return fitted_; }
 
  private:
+  /// Memo of context-free token embeddings: the same token string always
+  /// maps to the same BaseEmbed vector (hash-gram + cooc + numeracy are
+  /// all deterministic in the token), so repeated occurrences across a
+  /// corpus skip the recomputation. Thread-safe (mutex-guarded) because
+  /// the batch inference APIs encode records concurrently; bounded, and
+  /// never copied/moved with the encoder (a mutex is neither copyable
+  /// nor movable, and the entries are derivable state).
+  class TokenEmbeddingCache {
+   public:
+    TokenEmbeddingCache() = default;
+    TokenEmbeddingCache(const TokenEmbeddingCache&) {}
+    TokenEmbeddingCache(TokenEmbeddingCache&&) noexcept {}
+    TokenEmbeddingCache& operator=(const TokenEmbeddingCache&) {
+      Clear();
+      return *this;
+    }
+    TokenEmbeddingCache& operator=(TokenEmbeddingCache&&) noexcept {
+      Clear();
+      return *this;
+    }
+
+    bool Lookup(const std::string& token, la::Vec* out) const;
+    void Insert(const std::string& token, const la::Vec& value);
+    void Clear();
+
+   private:
+    static constexpr size_t kMaxEntries = 1u << 16;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, la::Vec> map_;
+  };
+
   la::Vec BaseEmbed(const std::string& token) const;
+  /// BaseEmbed through the memo cache.
+  la::Vec CachedBaseEmbed(const std::string& token) const;
 
   Options options_;
   bool fitted_ = false;
@@ -104,6 +139,7 @@ class SemanticEncoder {
   CoocEmbedder cooc_;
   ContextMixer mixer_;
   SiameseCalibrator calibrator_;
+  mutable TokenEmbeddingCache cache_;
 };
 
 }  // namespace wym::embedding

@@ -1,6 +1,7 @@
 #include "la/sparse_matrix.h"
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace wym::la {
 
@@ -21,15 +22,22 @@ size_t SparseMatrix::EntryCount() const {
 Matrix SparseMatrix::MultiplyDense(const Matrix& block) const {
   WYM_CHECK_EQ(block.rows(), rows_.size());
   Matrix out(rows_.size(), block.cols());
-  for (size_t r = 0; r < rows_.size(); ++r) {
-    double* out_row = out.Row(r);
-    for (const Entry& e : rows_[r]) {
-      const double* b_row = block.Row(e.col);
-      for (size_t j = 0; j < block.cols(); ++j) {
-        out_row[j] += e.value * b_row[j];
-      }
-    }
-  }
+  // Output rows are independent, so row-parallelism is bit-identical to
+  // the sequential loop at any thread count (the power-iteration hot
+  // loop of la::TopEigenpairs runs through here).
+  util::ParallelFor(
+      rows_.size(), /*grain=*/64,
+      [&](size_t begin, size_t end, size_t /*chunk*/) {
+        for (size_t r = begin; r < end; ++r) {
+          double* out_row = out.Row(r);
+          for (const Entry& e : rows_[r]) {
+            const double* b_row = block.Row(e.col);
+            for (size_t j = 0; j < block.cols(); ++j) {
+              out_row[j] += e.value * b_row[j];
+            }
+          }
+        }
+      });
   return out;
 }
 

@@ -1,0 +1,89 @@
+#ifndef WYM_UTIL_PARALLEL_H_
+#define WYM_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+/// \file
+/// Deterministic data-parallel loop on top of ThreadPool.
+///
+/// The determinism contract: the chunk structure of ParallelFor depends
+/// ONLY on (n, grain) — never on the pool size or scheduling — so a
+/// caller that keeps per-chunk accumulators and reduces them in chunk
+/// order computes a bit-identical result at every thread count,
+/// including the inline sequential path. See DESIGN.md "Threading
+/// model".
+
+namespace wym::util {
+
+/// Number of chunks ParallelFor(n, grain, ...) will create.
+inline size_t NumChunks(size_t n, size_t grain) {
+  grain = std::max<size_t>(grain, 1);
+  return (n + grain - 1) / grain;
+}
+
+/// Runs fn(begin, end, chunk) over fixed chunks of [0, n):
+/// chunk c covers [c*grain, min(n, (c+1)*grain)).
+///
+/// Chunks run on `pool` (the global pool when nullptr). The call runs
+/// inline, in chunk order, when there is a single chunk, the pool has
+/// no workers, or the caller is itself a pool worker (nested loops
+/// never deadlock).
+///
+/// Exceptions: on the inline path the first throwing chunk propagates
+/// immediately; on the parallel path every chunk still runs and the
+/// exception of the lowest-index failing chunk is rethrown — in both
+/// cases the caller observes the lowest-index failure.
+inline void ParallelFor(
+    size_t n, size_t grain,
+    const std::function<void(size_t begin, size_t end, size_t chunk)>& fn,
+    ThreadPool* pool = nullptr) {
+  if (n == 0) return;
+  grain = std::max<size_t>(grain, 1);
+  const size_t chunks = NumChunks(n, grain);
+  ThreadPool& executor = pool != nullptr ? *pool : ThreadPool::Global();
+
+  if (chunks == 1 || executor.size() <= 1 || ThreadPool::InWorker()) {
+    for (size_t c = 0; c < chunks; ++c) {
+      fn(c * grain, std::min(n, (c + 1) * grain), c);
+    }
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(chunks);
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    executor.Submit([&, c] {
+      try {
+        fn(c * grain, std::min(n, (c + 1) * grain), c);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+      // Notify while holding the lock: the waiter cannot observe
+      // pending == 0 and destroy cv/mu (by returning) until this task
+      // has released the mutex, i.e. fully left notify_one.
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending == 0; });
+  }
+  for (size_t c = 0; c < chunks; ++c) {
+    if (errors[c]) std::rethrow_exception(errors[c]);
+  }
+}
+
+}  // namespace wym::util
+
+#endif  // WYM_UTIL_PARALLEL_H_

@@ -1,0 +1,71 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+namespace wym::util {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (const char* raw = std::getenv("WYM_THREADS")) {
+    const long parsed = std::strtol(raw, nullptr, 10);
+    if (parsed >= 1) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
+}
+
+}  // namespace wym::util

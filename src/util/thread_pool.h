@@ -1,0 +1,71 @@
+#ifndef WYM_UTIL_THREAD_POOL_H_
+#define WYM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A fixed-size work-queue thread pool — the execution substrate of the
+/// deterministic parallel runtime (see DESIGN.md "Threading model").
+/// Work is expressed through util::ParallelFor (parallel.h), which
+/// guarantees thread-count-independent results; the pool itself is a
+/// plain task queue with no ordering guarantees.
+
+namespace wym::util {
+
+/// Fixed set of worker threads draining a FIFO task queue.
+///
+/// A pool of size <= 1 spawns no workers: Submit() runs the task inline
+/// on the calling thread. This makes ThreadPool(1) an exact sequential
+/// executor, which is how the benches measure the 1-thread baseline.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (0 and 1 both mean "no workers, run
+  /// submitted tasks inline").
+  explicit ThreadPool(size_t threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 = inline execution).
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not block on other tasks of the same
+  /// pool (ParallelFor handles the nested case by running inline).
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  /// ParallelFor uses this to run nested loops inline instead of
+  /// deadlocking on a saturated queue.
+  static bool InWorker();
+
+  /// Thread count for the global pool: WYM_THREADS when set to a
+  /// positive integer, otherwise std::thread::hardware_concurrency().
+  static size_t DefaultThreadCount();
+
+  /// The lazily-started process-wide pool (sized by DefaultThreadCount
+  /// at first use). Library code should reach it through ParallelFor's
+  /// default pool argument rather than directly.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace wym::util
+
+#endif  // WYM_UTIL_THREAD_POOL_H_
