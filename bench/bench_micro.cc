@@ -8,6 +8,8 @@
 #include "core/unit_generator.h"
 #include "data/benchmark_gen.h"
 #include "data/csv.h"
+#include "la/kernels.h"
+#include "la/vector_ops.h"
 #include "nn/mlp.h"
 #include "embedding/semantic_encoder.h"
 #include "matching/stable_marriage.h"
@@ -65,8 +67,96 @@ void BM_EncodeTokens(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeTokens);
 
+void BM_Dot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  la::Vec a(n, 0.0f), b(n, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(rng.Uniform(-1, 1));
+    b[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::kernels::Dot(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_Dot)->Arg(48)->Arg(72)->Arg(256);
+
+void BM_CosineUnit(benchmark::State& state) {
+  const size_t n = 72;
+  Rng rng(12);
+  la::Vec a(n, 0.0f), b(n, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(rng.Uniform(-1, 1));
+    b[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  la::Normalize(&a);
+  la::Normalize(&b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::CosineUnit(a, b));
+  }
+}
+BENCHMARK(BM_CosineUnit);
+
+void BM_SimilarityMatrix(benchmark::State& state) {
+  // Typical decision-unit shape: two ~token-count row sets of unit
+  // embedding rows, one A * B^T kernel call.
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t dim = 72;
+  Rng rng(13);
+  std::vector<la::Vec> left(rows), right(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    left[i].resize(dim);
+    right[i].resize(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      left[i][j] = static_cast<float>(rng.Uniform(-1, 1));
+      right[i][j] = static_cast<float>(rng.Uniform(-1, 1));
+    }
+  }
+  la::Vec packed_left, packed_right;
+  core::PackUnitRows(left, &packed_left, nullptr);
+  core::PackUnitRows(right, &packed_right, nullptr);
+  std::vector<double> out(rows * rows);
+  for (auto _ : state) {
+    la::kernels::SimilarityMatrix(packed_left.data(), rows,
+                                  packed_right.data(), rows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SimilarityMatrix)->Range(4, 64)->Complexity();
+
 void BM_UnitGeneration(benchmark::State& state) {
   // One realistic record from the product benchmark, fully encoded.
+  // Packed embeddings are dropped so each Generate call pays the
+  // per-pair packing fallback — the closest match to the pre-kernel
+  // input state, and the fair historical comparison point.
+  const data::Dataset dataset = data::GenerateById("S-WA", 42, 0.1);
+  const text::Tokenizer tokenizer;
+  embedding::SemanticEncoderOptions options;
+  options.mode = embedding::EncoderMode::kPretrained;
+  embedding::SemanticEncoder encoder(options);
+  encoder.Fit({});
+  core::TokenizedRecord record = core::TokenizeRecord(
+      dataset.records.front(), dataset.schema, tokenizer);
+  core::EncodeEntity(encoder, &record.left);
+  core::EncodeEntity(encoder, &record.right);
+  record.left.packed_embeddings.clear();
+  record.left.embedding_norms.clear();
+  record.left.embedding_dim = 0;
+  record.right.packed_embeddings.clear();
+  record.right.embedding_norms.clear();
+  record.right.embedding_dim = 0;
+  const core::DecisionUnitGenerator generator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(record.left, record.right,
+                                                dataset.schema.size()));
+  }
+}
+BENCHMARK(BM_UnitGeneration);
+
+void BM_UnitGeneration_Cached(benchmark::State& state) {
+  // Same workload, but with the encode-time packed unit rows kept — the
+  // path the real pipeline takes (EncodeEntity packs once per record).
   const data::Dataset dataset = data::GenerateById("S-WA", 42, 0.1);
   const text::Tokenizer tokenizer;
   embedding::SemanticEncoderOptions options;
@@ -83,7 +173,7 @@ void BM_UnitGeneration(benchmark::State& state) {
                                                 dataset.schema.size()));
   }
 }
-BENCHMARK(BM_UnitGeneration);
+BENCHMARK(BM_UnitGeneration_Cached);
 
 void BM_MlpPredict(benchmark::State& state) {
   Rng rng(4);

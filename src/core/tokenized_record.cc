@@ -1,5 +1,9 @@
 #include "core/tokenized_record.h"
 
+#include <cmath>
+#include <cstring>
+
+#include "la/kernels.h"
 #include "util/logging.h"
 
 namespace wym::core {
@@ -36,9 +40,31 @@ TokenizedRecord TokenizeRecord(const data::EmRecord& record,
   return out;
 }
 
+size_t PackUnitRows(const std::vector<la::Vec>& embeddings, la::Vec* packed,
+                    std::vector<double>* norms) {
+  const size_t dim = embeddings.empty() ? 0 : embeddings.front().size();
+  packed->assign(embeddings.size() * dim, 0.0f);
+  if (norms != nullptr) norms->assign(embeddings.size(), 0.0);
+  for (size_t i = 0; i < embeddings.size(); ++i) {
+    const la::Vec& v = embeddings[i];
+    WYM_CHECK_EQ(v.size(), dim) << "ragged embedding dimensions on row " << i;
+    float* row = packed->data() + i * dim;
+    if (dim > 0) std::memcpy(row, v.data(), dim * sizeof(float));
+    const double norm = std::sqrt(la::kernels::SquaredNorm(row, dim));
+    if (norms != nullptr) (*norms)[i] = norm;
+    if (norm > 0.0) la::kernels::Scale(1.0 / norm, row, dim);
+  }
+  return dim;
+}
+
+void TokenizedEntity::PackEmbeddings() {
+  embedding_dim = PackUnitRows(embeddings, &packed_embeddings, &embedding_norms);
+}
+
 void EncodeEntity(const embedding::SemanticEncoder& encoder,
                   TokenizedEntity* entity) {
   entity->embeddings = encoder.EncodeTokens(entity->tokens);
+  entity->PackEmbeddings();
 }
 
 }  // namespace wym::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "la/kernels.h"
 #include "la/matrix.h"
 #include "matching/stable_marriage.h"
 #include "text/string_metrics.h"
@@ -14,33 +15,47 @@ namespace wym::core {
 namespace {
 
 /// GetSMPairs of Algorithm 1: stable marriage between the tokens listed
-/// in `left_indices` and `right_indices`, preferences by `similarity`,
-/// truncated at `threshold`. Returns (left flat index, right flat index,
-/// similarity) triples.
+/// in `left_indices` and `right_indices`, preferences read from the
+/// precomputed full L x R similarity matrix, truncated at `threshold`.
+/// Returns (left flat index, right flat index, similarity) triples.
 struct SmPair {
   size_t left;
   size_t right;
   double similarity;
 };
 
-template <typename SimilarityFn>
-std::vector<SmPair> GetSmPairs(const std::vector<size_t>& left_indices,
+std::vector<SmPair> GetSmPairs(const la::Matrix& sim_full,
+                               const std::vector<size_t>& left_indices,
                                const std::vector<size_t>& right_indices,
-                               double threshold,
-                               const SimilarityFn& similarity) {
+                               double threshold) {
   if (left_indices.empty() || right_indices.empty()) return {};
   la::Matrix sim(left_indices.size(), right_indices.size());
   for (size_t i = 0; i < left_indices.size(); ++i) {
+    const double* full_row = sim_full.Row(left_indices[i]);
+    double* row = sim.Row(i);
     for (size_t j = 0; j < right_indices.size(); ++j) {
-      sim.At(i, j) = similarity(left_indices[i], right_indices[j]);
+      row[j] = full_row[right_indices[j]];
     }
   }
   std::vector<SmPair> out;
+  out.reserve(std::min(left_indices.size(), right_indices.size()));
   for (const auto& pair : matching::StableMarriage(sim, threshold)) {
     out.push_back({left_indices[pair.left], right_indices[pair.right],
                    pair.similarity});
   }
   return out;
+}
+
+/// Unit-normalized packed rows of an entity's embeddings: reuses the
+/// encode-time packing when present, otherwise packs into `storage`.
+const float* PackedRows(const TokenizedEntity& entity, la::Vec* storage,
+                        size_t* dim) {
+  if (entity.HasPackedEmbeddings()) {
+    *dim = entity.embedding_dim;
+    return entity.packed_embeddings.data();
+  }
+  *dim = PackUnitRows(entity.embeddings, storage, /*norms=*/nullptr);
+  return storage->data();
 }
 
 TokenRef MakeRef(const TokenizedEntity& entity, size_t flat_index) {
@@ -74,12 +89,57 @@ double DecisionUnitGenerator::Similarity(const TokenizedEntity& left,
                     right.embeddings[right_index]);
 }
 
+la::Matrix DecisionUnitGenerator::PairSimilarityMatrix(
+    const TokenizedEntity& left, const TokenizedEntity& right) const {
+  la::Matrix sim(left.size(), right.size());
+  if (left.size() == 0 || right.size() == 0) return sim;
+
+  if (options_.similarity == PairingSimilarity::kJaroWinkler) {
+    for (size_t l = 0; l < left.size(); ++l) {
+      double* row = sim.Row(l);
+      for (size_t r = 0; r < right.size(); ++r) {
+        row[r] = text::JaroWinklerSimilarity(left.tokens[l], right.tokens[r]);
+      }
+    }
+  } else {
+    WYM_CHECK_EQ(left.embeddings.size(), left.tokens.size())
+        << "embeddings missing on the left entity";
+    WYM_CHECK_EQ(right.embeddings.size(), right.tokens.size())
+        << "embeddings missing on the right entity";
+    la::Vec scratch_left, scratch_right;
+    size_t left_dim = 0, right_dim = 0;
+    const float* left_rows = PackedRows(left, &scratch_left, &left_dim);
+    const float* right_rows = PackedRows(right, &scratch_right, &right_dim);
+    WYM_CHECK_EQ(left_dim, right_dim) << "left/right embedding dims differ";
+    // Rows are unit vectors, so one A * B^T kernel call yields the full
+    // cosine matrix.
+    la::kernels::SimilarityMatrix(left_rows, left.size(), right_rows,
+                                  right.size(), left_dim, sim.data().data());
+  }
+
+  if (!options_.rules.empty()) {
+    for (size_t l = 0; l < left.size(); ++l) {
+      double* row = sim.Row(l);
+      for (size_t r = 0; r < right.size(); ++r) {
+        for (const PairingRule& rule : options_.rules) {
+          if (!rule(left.tokens[l], right.tokens[r])) {
+            row[r] = -1.0;  // Vetoed: below any threshold.
+            break;
+          }
+        }
+      }
+    }
+  }
+  return sim;
+}
+
 std::vector<DecisionUnit> DecisionUnitGenerator::Generate(
     const TokenizedEntity& left, const TokenizedEntity& right,
     size_t num_attributes) const {
-  auto sim = [&](size_t l, size_t r) {
-    return Similarity(left, l, right, r);
-  };
+  // All four stable-marriage phases read the same token-pair
+  // similarities, so the full L x R matrix is computed once up front
+  // (one kernel call in the embedding case) and indexed per phase.
+  const la::Matrix sim = PairSimilarityMatrix(left, right);
 
   std::vector<DecisionUnit> units;
   std::vector<bool> left_paired(left.size(), false);
@@ -100,7 +160,7 @@ std::vector<DecisionUnit> DecisionUnitGenerator::Generate(
     const std::vector<size_t> l_attr = left.TokensOfAttribute(attr);
     const std::vector<size_t> r_attr = right.TokensOfAttribute(attr);
     for (const SmPair& pair :
-         GetSmPairs(l_attr, r_attr, options_.theta, sim)) {
+         GetSmPairs(sim, l_attr, r_attr, options_.theta)) {
       left_paired[pair.left] = true;
       right_paired[pair.right] = true;
       add_pair(pair, UnitPhase::kIntraAttribute);
@@ -117,8 +177,8 @@ std::vector<DecisionUnit> DecisionUnitGenerator::Generate(
 
   // Phase 2 — inter-attribute correspondences over leftovers (eta).
   for (const SmPair& pair : GetSmPairs(
-           unpaired_of(left_paired), unpaired_of(right_paired),
-           options_.eta, sim)) {
+           sim, unpaired_of(left_paired), unpaired_of(right_paired),
+           options_.eta)) {
     left_paired[pair.left] = true;
     right_paired[pair.right] = true;
     add_pair(pair, UnitPhase::kInterAttribute);
@@ -132,8 +192,8 @@ std::vector<DecisionUnit> DecisionUnitGenerator::Generate(
     if (right_paired[r]) right_already_paired.push_back(r);
   }
   for (const SmPair& pair :
-       GetSmPairs(unpaired_of(left_paired), right_already_paired,
-                  options_.epsilon, sim)) {
+       GetSmPairs(sim, unpaired_of(left_paired), right_already_paired,
+                  options_.epsilon)) {
     left_paired[pair.left] = true;  // Right token stays in its other unit.
     add_pair(pair, UnitPhase::kOneToMany);
   }
@@ -145,11 +205,12 @@ std::vector<DecisionUnit> DecisionUnitGenerator::Generate(
   {
     const std::vector<size_t> r_free = unpaired_of(right_paired);
     if (!r_free.empty() && !left_already_paired.empty()) {
+      // Transposed view of the precomputed matrix: right tokens propose.
       la::Matrix sim_matrix(r_free.size(), left_already_paired.size());
       for (size_t i = 0; i < r_free.size(); ++i) {
+        double* row = sim_matrix.Row(i);
         for (size_t j = 0; j < left_already_paired.size(); ++j) {
-          sim_matrix.At(i, j) =
-              Similarity(left, left_already_paired[j], right, r_free[i]);
+          row[j] = sim.Row(left_already_paired[j])[r_free[i]];
         }
       }
       for (const auto& pair :

@@ -7,6 +7,7 @@
 
 #include "core/decision_unit.h"
 #include "core/tokenized_record.h"
+#include "la/matrix.h"
 
 /// \file
 /// Algorithm 1 of the paper (DecisionUnitDiscovery): three phases of
@@ -54,13 +55,26 @@ class DecisionUnitGenerator {
   /// Runs Algorithm 1. Requires embeddings to be filled when the
   /// similarity source is kEmbedding. `num_attributes` is the schema
   /// width. Paired units come first (discovery order), then unpaired.
+  ///
+  /// The full L x R token similarity matrix is computed once up front —
+  /// a single SIMD kernel call over the packed unit embeddings in the
+  /// kEmbedding case (see la/kernels.h) — and all four stable-marriage
+  /// phases index into it instead of re-evaluating per-cell similarity.
   std::vector<DecisionUnit> Generate(const TokenizedEntity& left,
                                      const TokenizedEntity& right,
                                      size_t num_attributes) const;
 
+  /// The precomputed similarity matrix Generate works from: cosine of
+  /// unit embeddings (or Jaro-Winkler), with vetoed cells forced to -1.
+  /// Exposed for tests and the micro benches.
+  la::Matrix PairSimilarityMatrix(const TokenizedEntity& left,
+                                  const TokenizedEntity& right) const;
+
   const UnitGeneratorOptions& options() const { return options_; }
 
  private:
+  /// Reference per-cell similarity (rules veto, then Jaro-Winkler or
+  /// full cosine). PairSimilarityMatrix is the batched equivalent.
   double Similarity(const TokenizedEntity& left, size_t left_index,
                     const TokenizedEntity& right, size_t right_index) const;
 

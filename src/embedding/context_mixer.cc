@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "la/kernels.h"
+
 namespace wym::embedding {
 
 ContextMixer::ContextMixer(Options options) : options_(options) {}
@@ -9,27 +11,42 @@ ContextMixer::ContextMixer(Options options) : options_(options) {}
 std::vector<la::Vec> ContextMixer::Mix(const std::vector<la::Vec>& base) const {
   if (base.size() < 2 || options_.blend <= 0.0) return base;
 
-  // Precompute pairwise cosine similarities.
+  // Precompute pairwise cosine similarities with one flat kernel pass.
+  // The inputs are unit vectors (BaseEmbed normalizes), but Mix is a
+  // public API, so rows are re-normalized while packing — cosine is
+  // scale-invariant, and all-zero rows stay zero.
   const size_t n = base.size();
-  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  const size_t dim = base.front().size();
+  la::Vec packed_rows(n * dim, 0.0f);
   for (size_t i = 0; i < n; ++i) {
+    float* row = packed_rows.data() + i * dim;
+    for (size_t j = 0; j < dim; ++j) row[j] = base[i][j];
+    const double norm = std::sqrt(la::kernels::SquaredNorm(row, dim));
+    if (norm > 0.0) la::kernels::Scale(1.0 / norm, row, dim);
+  }
+  std::vector<double> sim(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row_i = packed_rows.data() + i * dim;
     for (size_t j = i + 1; j < n; ++j) {
-      sim[i][j] = sim[j][i] = la::Cosine(base[i], base[j]);
+      const double s =
+          la::kernels::Dot(row_i, packed_rows.data() + j * dim, dim);
+      sim[i * n + j] = sim[j * n + i] = s;
     }
   }
 
   std::vector<la::Vec> out(n);
   for (size_t i = 0; i < n; ++i) {
     // Softmax attention over the other tokens.
+    const double* sim_row = sim.data() + i * n;
     double max_sim = -2.0;
     for (size_t j = 0; j < n; ++j) {
-      if (j != i) max_sim = std::max(max_sim, sim[i][j]);
+      if (j != i) max_sim = std::max(max_sim, sim_row[j]);
     }
-    la::Vec context = la::Zeros(base[i].size());
+    la::Vec context = la::Zeros(dim);
     double z = 0.0;
     for (size_t j = 0; j < n; ++j) {
       if (j == i) continue;
-      const double a = std::exp((sim[i][j] - max_sim) / options_.temperature);
+      const double a = std::exp((sim_row[j] - max_sim) / options_.temperature);
       la::Axpy(a, base[j], &context);
       z += a;
     }

@@ -28,13 +28,16 @@ EigenResult TopEigenpairs(const SparseMatrix& a, size_t k, size_t iterations,
     q.OrthonormalizeColumns();
   }
 
-  // Rayleigh quotients lambda_j = q_j' A q_j.
+  // Rayleigh quotients lambda_j = q_j' A q_j. Row-major traversal so
+  // each row is touched once through an unchecked pointer; every
+  // values[j] still accumulates over i in increasing order, identical
+  // to the column-at-a-time sum.
   const Matrix aq = a.MultiplyDense(q);
   std::vector<double> values(k, 0.0);
-  for (size_t j = 0; j < k; ++j) {
-    double lambda = 0.0;
-    for (size_t i = 0; i < n; ++i) lambda += q.At(i, j) * aq.At(i, j);
-    values[j] = lambda;
+  for (size_t i = 0; i < n; ++i) {
+    const double* q_row = q.Row(i);
+    const double* aq_row = aq.Row(i);
+    for (size_t j = 0; j < k; ++j) values[j] += q_row[j] * aq_row[j];
   }
 
   return {std::move(q), std::move(values)};

@@ -1,0 +1,241 @@
+#include "la/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace wym::la::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Portable scalar implementations. These define the reference
+// accumulation order: 8 partial sums (index mod 8, increasing index
+// within each), collapsed in one fixed tree. The SIMD paths reproduce
+// this order lane-for-lane, so all paths are bit-identical.
+// ---------------------------------------------------------------------
+
+inline double Reduce8(const double* s) {
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+double DotF32Scalar(const float* a, const float* b, size_t n) {
+  double s[8] = {0.0};
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    for (size_t k = 0; k < 8; ++k) {
+      s[k] += static_cast<double>(a[i + k]) * static_cast<double>(b[i + k]);
+    }
+  }
+  for (; i < n; ++i) {
+    s[i % 8] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return Reduce8(s);
+}
+
+double DotF64Scalar(const double* a, const double* b, size_t n) {
+  double s[8] = {0.0};
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    for (size_t k = 0; k < 8; ++k) s[k] += a[i + k] * b[i + k];
+  }
+  for (; i < n; ++i) s[i % 8] += a[i] * b[i];
+  return Reduce8(s);
+}
+
+double SqDistF64Scalar(const double* a, const double* b, size_t n) {
+  double s[8] = {0.0};
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    for (size_t k = 0; k < 8; ++k) {
+      const double d = a[i + k] - b[i + k];
+      s[k] += d * d;
+    }
+  }
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s[i % 8] += d * d;
+  }
+  return Reduce8(s);
+}
+
+void AxpyF32Scalar(double scale, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += static_cast<float>(scale * static_cast<double>(x[i]));
+  }
+}
+
+void AxpyF64Scalar(double scale, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += scale * x[i];
+}
+
+void ScaleF32Scalar(double factor, float* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(static_cast<double>(a[i]) * factor);
+  }
+}
+
+void ScaleF64Scalar(double factor, double* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] *= factor;
+}
+
+const internal::KernelTable kScalarTable = {
+    DotF32Scalar, DotF64Scalar,   SqDistF64Scalar, AxpyF32Scalar,
+    AxpyF64Scalar, ScaleF32Scalar, ScaleF64Scalar,
+};
+
+// ---------------------------------------------------------------------
+// Dispatch. Resolved once per process from WYM_SIMD + CPU detection;
+// SetSimdLevel re-points the table for the parity tests.
+// ---------------------------------------------------------------------
+
+struct Dispatch {
+  const internal::KernelTable* table;
+  SimdLevel level;
+};
+
+const internal::KernelTable* TableFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return internal::Avx2Kernels();
+    case SimdLevel::kSse2:
+      return internal::Sse2Kernels();
+    case SimdLevel::kScalar:
+      return internal::ScalarKernels();
+  }
+  return nullptr;
+}
+
+Dispatch ResolveAtOrBelow(SimdLevel requested) {
+  for (int level = static_cast<int>(requested); level > 0; --level) {
+    if (const internal::KernelTable* table =
+            TableFor(static_cast<SimdLevel>(level))) {
+      return {table, static_cast<SimdLevel>(level)};
+    }
+  }
+  return {internal::ScalarKernels(), SimdLevel::kScalar};
+}
+
+SimdLevel EnvRequestedLevel() {
+  const char* raw = std::getenv("WYM_SIMD");
+  if (raw == nullptr) return SimdLevel::kAvx2;  // "auto": best available.
+  if (std::strcmp(raw, "off") == 0 || std::strcmp(raw, "scalar") == 0) {
+    return SimdLevel::kScalar;
+  }
+  if (std::strcmp(raw, "sse2") == 0) return SimdLevel::kSse2;
+  if (std::strcmp(raw, "avx2") == 0) return SimdLevel::kAvx2;
+  return SimdLevel::kAvx2;  // Unknown value: behave like "auto".
+}
+
+std::atomic<const internal::KernelTable*> g_table{nullptr};
+std::atomic<SimdLevel> g_level{SimdLevel::kScalar};
+
+const internal::KernelTable& Active() {
+  const internal::KernelTable* table = g_table.load(std::memory_order_acquire);
+  if (table != nullptr) return *table;
+  const Dispatch resolved = ResolveAtOrBelow(EnvRequestedLevel());
+  g_level.store(resolved.level, std::memory_order_relaxed);
+  g_table.store(resolved.table, std::memory_order_release);
+  return *resolved.table;
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable* ScalarKernels() { return &kScalarTable; }
+
+#ifndef WYM_HAVE_AVX2
+const KernelTable* Avx2Kernels() { return nullptr; }
+#endif
+
+}  // namespace internal
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectedSimdLevel() {
+  return ResolveAtOrBelow(SimdLevel::kAvx2).level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  Active();  // Force resolution.
+  return g_level.load(std::memory_order_relaxed);
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  const Dispatch resolved = ResolveAtOrBelow(level);
+  g_level.store(resolved.level, std::memory_order_relaxed);
+  g_table.store(resolved.table, std::memory_order_release);
+  return resolved.level;
+}
+
+double Dot(const float* a, const float* b, size_t n) {
+  return Active().dot_f32(a, b, n);
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+  return Active().dot_f64(a, b, n);
+}
+
+double SquaredNorm(const float* a, size_t n) { return Active().dot_f32(a, a, n); }
+
+double SquaredNorm(const double* a, size_t n) {
+  return Active().dot_f64(a, a, n);
+}
+
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  return Active().sqdist_f64(a, b, n);
+}
+
+void Axpy(double scale, const float* x, float* y, size_t n) {
+  Active().axpy_f32(scale, x, y, n);
+}
+
+void Axpy(double scale, const double* x, double* y, size_t n) {
+  Active().axpy_f64(scale, x, y, n);
+}
+
+void Scale(double factor, float* a, size_t n) {
+  Active().scale_f32(factor, a, n);
+}
+
+void Scale(double factor, double* a, size_t n) {
+  Active().scale_f64(factor, a, n);
+}
+
+void SimilarityMatrix(const float* a, size_t a_rows, const float* b,
+                      size_t b_rows, size_t dim, double* out) {
+  const internal::KernelTable& table = Active();
+  // Block over rows so a block of B rows stays cache-resident while a
+  // block of A rows streams over it. Each cell is one independent Dot,
+  // so blocking reorders cells only — bit-identity is untouched.
+  constexpr size_t kBlock = 32;
+  for (size_t ib = 0; ib < a_rows; ib += kBlock) {
+    const size_t i_end = ib + kBlock < a_rows ? ib + kBlock : a_rows;
+    for (size_t jb = 0; jb < b_rows; jb += kBlock) {
+      const size_t j_end = jb + kBlock < b_rows ? jb + kBlock : b_rows;
+      for (size_t i = ib; i < i_end; ++i) {
+        const float* a_row = a + i * dim;
+        double* out_row = out + i * b_rows;
+        for (size_t j = jb; j < j_end; ++j) {
+          out_row[j] = table.dot_f32(a_row, b + j * dim, dim);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace wym::la::kernels

@@ -1,0 +1,106 @@
+#ifndef WYM_LA_KERNELS_H_
+#define WYM_LA_KERNELS_H_
+
+#include <cstddef>
+
+/// \file
+/// Vectorized inner-loop kernels with runtime SIMD dispatch.
+///
+/// Every kernel is implemented three times — portable scalar, SSE2 and
+/// AVX2 — and all paths are **bit-identical**: reductions accumulate
+/// into a fixed set of 8 partial sums (partial sum k holds the elements
+/// whose index is congruent to k mod 8, added in increasing index
+/// order) and collapse them in one fixed tree order, so the result does
+/// not depend on the selected path, the vector width, or the thread
+/// count. Products of float inputs are formed in double (exact) and
+/// accumulated in double, matching the precision of the scalar code the
+/// kernels replaced. The kernel translation units are compiled with
+/// `-ffp-contract=off` so no path silently fuses multiply-add.
+///
+/// The path is chosen once per process: `WYM_SIMD=avx2|sse2|off`
+/// overrides the default (the best level compiled in and supported by
+/// the CPU). An unavailable request falls back to the best available
+/// level at or below it. See DESIGN.md "Kernel layer & runtime
+/// dispatch".
+
+namespace wym::la::kernels {
+
+/// Dispatchable implementation levels, in increasing capability.
+enum class SimdLevel {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Printable name ("scalar" / "sse2" / "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// Best level compiled into this binary and supported by this CPU.
+SimdLevel DetectedSimdLevel();
+
+/// The level the kernels currently dispatch to (WYM_SIMD-resolved at
+/// first use).
+SimdLevel ActiveSimdLevel();
+
+/// Forces dispatch to `level` (clamped to DetectedSimdLevel()); returns
+/// the level actually applied. Test hook for the parity suites — not
+/// thread-safe against concurrent kernel calls.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+/// sum_i a[i] * b[i], accumulated in double.
+double Dot(const float* a, const float* b, size_t n);
+double Dot(const double* a, const double* b, size_t n);
+
+/// sum_i a[i]^2, accumulated in double.
+double SquaredNorm(const float* a, size_t n);
+double SquaredNorm(const double* a, size_t n);
+
+/// sum_i (a[i] - b[i])^2 — the kNN Euclidean hot loop.
+double SquaredDistance(const double* a, const double* b, size_t n);
+
+/// y[i] += scale * x[i]. The float form keeps the historical semantics
+/// of la::Axpy: the product is formed in double, rounded to float, then
+/// added in float.
+void Axpy(double scale, const float* x, float* y, size_t n);
+void Axpy(double scale, const double* x, double* y, size_t n);
+
+/// a[i] = a[i] * factor (float form: double product rounded to float).
+void Scale(double factor, float* a, size_t n);
+void Scale(double factor, double* a, size_t n);
+
+/// Blocked GEMM over unit-normalized embedding rows:
+///   out[i * b_rows + j] = dot(a + i*dim, b + j*dim, dim)
+/// i.e. out = A * B^T with A (a_rows x dim) and B (b_rows x dim) packed
+/// row-major. Rows are expected unit-normalized, making each cell a
+/// cosine similarity. Blocking only reorders *cells* (each cell is one
+/// independent Dot), so the result is bit-identical across paths.
+void SimilarityMatrix(const float* a, size_t a_rows, const float* b,
+                      size_t b_rows, size_t dim, double* out);
+
+namespace internal {
+
+/// One fully-populated implementation table; the dispatcher selects one
+/// of these per process. Exposed for the per-level parity tests.
+struct KernelTable {
+  double (*dot_f32)(const float*, const float*, size_t);
+  double (*dot_f64)(const double*, const double*, size_t);
+  double (*sqdist_f64)(const double*, const double*, size_t);
+  void (*axpy_f32)(double, const float*, float*, size_t);
+  void (*axpy_f64)(double, const double*, double*, size_t);
+  void (*scale_f32)(double, float*, size_t);
+  void (*scale_f64)(double, double*, size_t);
+};
+
+/// Scalar table (always available).
+const KernelTable* ScalarKernels();
+/// SSE2 table, or nullptr when not compiled for this target.
+const KernelTable* Sse2Kernels();
+/// AVX2 table, or nullptr when the AVX2 TU was not built (WYM_NATIVE=OFF
+/// or unsupported compiler).
+const KernelTable* Avx2Kernels();
+
+}  // namespace internal
+
+}  // namespace wym::la::kernels
+
+#endif  // WYM_LA_KERNELS_H_

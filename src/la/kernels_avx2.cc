@@ -1,0 +1,169 @@
+// AVX2 kernel path. Compiled with -mavx2 only when the CMake option
+// WYM_NATIVE is ON and the compiler supports the flag (the dispatcher
+// additionally checks CPU support at runtime before selecting it).
+//
+// Bit-identity with the scalar/SSE2 paths: the 8 partial sums of the
+// reference accumulation order live in two 4-lane double accumulators,
+// added in the same per-lane order and collapsed with the same fixed
+// tree. Float products are widened to double before multiplying
+// (exact). Multiplies and adds stay separate instructions — no FMA —
+// and the TU is compiled with -ffp-contract=off so the compiler cannot
+// fuse them behind our back.
+
+#include "la/kernels.h"
+
+#include <immintrin.h>
+
+namespace wym::la::kernels::internal {
+
+namespace {
+
+inline double Reduce8(const double* s) {
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+double DotF32Avx2(const float* a, const float* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();  // Elements 8j+0 .. 8j+3.
+  __m256d acc_hi = _mm256_setzero_pd();  // Elements 8j+4 .. 8j+7.
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    const __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+    const __m256d b_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(vb));
+    const __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1));
+    const __m256d b_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1));
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(a_lo, b_lo));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(a_hi, b_hi));
+  }
+  double s[8];
+  _mm256_storeu_pd(s + 0, acc_lo);
+  _mm256_storeu_pd(s + 4, acc_hi);
+  for (; i < n; ++i) {
+    s[i % 8] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return Reduce8(s);
+}
+
+double DotF64Avx2(const double* a, const double* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    acc_lo = _mm256_add_pd(
+        acc_lo, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+    acc_hi = _mm256_add_pd(
+        acc_hi,
+        _mm256_mul_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4)));
+  }
+  double s[8];
+  _mm256_storeu_pd(s + 0, acc_lo);
+  _mm256_storeu_pd(s + 4, acc_hi);
+  for (; i < n; ++i) s[i % 8] += a[i] * b[i];
+  return Reduce8(s);
+}
+
+double SqDistF64Avx2(const double* a, const double* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    const __m256d d_lo =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d_hi =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(d_lo, d_lo));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(d_hi, d_hi));
+  }
+  double s[8];
+  _mm256_storeu_pd(s + 0, acc_lo);
+  _mm256_storeu_pd(s + 4, acc_hi);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s[i % 8] += d * d;
+  }
+  return Reduce8(s);
+}
+
+void AxpyF32Avx2(double scale, const float* x, float* y, size_t n) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256d x_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(vx));
+    const __m256d x_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(vx, 1));
+    // Double product rounded back to float, then float add — the
+    // elementwise semantics of the scalar path.
+    const __m128 p_lo = _mm256_cvtpd_ps(_mm256_mul_pd(x_lo, vscale));
+    const __m128 p_hi = _mm256_cvtpd_ps(_mm256_mul_pd(x_hi, vscale));
+    const __m256 product = _mm256_set_m128(p_hi, p_lo);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), product));
+  }
+  for (; i < n; ++i) {
+    y[i] += static_cast<float>(scale * static_cast<double>(x[i]));
+  }
+}
+
+void AxpyF64Avx2(double scale, const double* x, double* y, size_t n) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const size_t blocks = n - n % 4;
+  size_t i = 0;
+  for (; i < blocks; i += 4) {
+    const __m256d product = _mm256_mul_pd(_mm256_loadu_pd(x + i), vscale);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), product));
+  }
+  for (; i < n; ++i) y[i] += scale * x[i];
+}
+
+void ScaleF32Avx2(double factor, float* a, size_t n) {
+  const __m256d vfactor = _mm256_set1_pd(factor);
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+    const __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1));
+    const __m128 p_lo = _mm256_cvtpd_ps(_mm256_mul_pd(a_lo, vfactor));
+    const __m128 p_hi = _mm256_cvtpd_ps(_mm256_mul_pd(a_hi, vfactor));
+    _mm256_storeu_ps(a + i, _mm256_set_m128(p_hi, p_lo));
+  }
+  for (; i < n; ++i) {
+    a[i] = static_cast<float>(static_cast<double>(a[i]) * factor);
+  }
+}
+
+void ScaleF64Avx2(double factor, double* a, size_t n) {
+  const __m256d vfactor = _mm256_set1_pd(factor);
+  const size_t blocks = n - n % 4;
+  size_t i = 0;
+  for (; i < blocks; i += 4) {
+    _mm256_storeu_pd(a + i, _mm256_mul_pd(_mm256_loadu_pd(a + i), vfactor));
+  }
+  for (; i < n; ++i) a[i] *= factor;
+}
+
+const KernelTable kAvx2Table = {
+    DotF32Avx2,  DotF64Avx2,   SqDistF64Avx2, AxpyF32Avx2,
+    AxpyF64Avx2, ScaleF32Avx2, ScaleF64Avx2,
+};
+
+bool CpuHasAvx2() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const KernelTable* Avx2Kernels() {
+  static const bool supported = CpuHasAvx2();
+  return supported ? &kAvx2Table : nullptr;
+}
+
+}  // namespace wym::la::kernels::internal

@@ -1,0 +1,195 @@
+// SSE2 kernel path. SSE2 is part of the x86-64 baseline, so this TU
+// needs no special compile flags; on non-x86 targets it compiles to a
+// nullptr table and the dispatcher falls back to scalar.
+//
+// Bit-identity with the scalar path: every reduction keeps the same 8
+// partial sums (element index mod 8) as the scalar reference — here as
+// four 2-lane double accumulators — added in the same per-lane order,
+// and collapses them with the same fixed tree. Float products are
+// widened to double before multiplying (exact), exactly like the scalar
+// code. No FMA is used anywhere.
+
+#include "la/kernels.h"
+
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define WYM_SSE2_AVAILABLE 1
+#include <emmintrin.h>
+#else
+#define WYM_SSE2_AVAILABLE 0
+#endif
+
+namespace wym::la::kernels::internal {
+
+#if WYM_SSE2_AVAILABLE
+
+namespace {
+
+inline double Reduce8(const double* s) {
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+// Converts float lanes {2,3} of v to double.
+inline __m128d CvtHighPd(__m128 v) {
+  return _mm_cvtps_pd(_mm_movehl_ps(v, v));
+}
+
+double DotF32Sse2(const float* a, const float* b, size_t n) {
+  __m128d acc01 = _mm_setzero_pd();  // Elements 8j+0, 8j+1.
+  __m128d acc23 = _mm_setzero_pd();
+  __m128d acc45 = _mm_setzero_pd();
+  __m128d acc67 = _mm_setzero_pd();
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    const __m128 va_lo = _mm_loadu_ps(a + i);
+    const __m128 vb_lo = _mm_loadu_ps(b + i);
+    const __m128 va_hi = _mm_loadu_ps(a + i + 4);
+    const __m128 vb_hi = _mm_loadu_ps(b + i + 4);
+    acc01 = _mm_add_pd(
+        acc01, _mm_mul_pd(_mm_cvtps_pd(va_lo), _mm_cvtps_pd(vb_lo)));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(CvtHighPd(va_lo), CvtHighPd(vb_lo)));
+    acc45 = _mm_add_pd(
+        acc45, _mm_mul_pd(_mm_cvtps_pd(va_hi), _mm_cvtps_pd(vb_hi)));
+    acc67 = _mm_add_pd(acc67, _mm_mul_pd(CvtHighPd(va_hi), CvtHighPd(vb_hi)));
+  }
+  double s[8];
+  _mm_storeu_pd(s + 0, acc01);
+  _mm_storeu_pd(s + 2, acc23);
+  _mm_storeu_pd(s + 4, acc45);
+  _mm_storeu_pd(s + 6, acc67);
+  for (; i < n; ++i) {
+    s[i % 8] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return Reduce8(s);
+}
+
+double DotF64Sse2(const double* a, const double* b, size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  __m128d acc45 = _mm_setzero_pd();
+  __m128d acc67 = _mm_setzero_pd();
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    acc01 = _mm_add_pd(
+        acc01, _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+    acc23 = _mm_add_pd(
+        acc23, _mm_mul_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2)));
+    acc45 = _mm_add_pd(
+        acc45, _mm_mul_pd(_mm_loadu_pd(a + i + 4), _mm_loadu_pd(b + i + 4)));
+    acc67 = _mm_add_pd(
+        acc67, _mm_mul_pd(_mm_loadu_pd(a + i + 6), _mm_loadu_pd(b + i + 6)));
+  }
+  double s[8];
+  _mm_storeu_pd(s + 0, acc01);
+  _mm_storeu_pd(s + 2, acc23);
+  _mm_storeu_pd(s + 4, acc45);
+  _mm_storeu_pd(s + 6, acc67);
+  for (; i < n; ++i) s[i % 8] += a[i] * b[i];
+  return Reduce8(s);
+}
+
+double SqDistF64Sse2(const double* a, const double* b, size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  __m128d acc45 = _mm_setzero_pd();
+  __m128d acc67 = _mm_setzero_pd();
+  const size_t blocks = n - n % 8;
+  size_t i = 0;
+  for (; i < blocks; i += 8) {
+    const __m128d d01 = _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+    const __m128d d23 =
+        _mm_sub_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2));
+    const __m128d d45 =
+        _mm_sub_pd(_mm_loadu_pd(a + i + 4), _mm_loadu_pd(b + i + 4));
+    const __m128d d67 =
+        _mm_sub_pd(_mm_loadu_pd(a + i + 6), _mm_loadu_pd(b + i + 6));
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(d23, d23));
+    acc45 = _mm_add_pd(acc45, _mm_mul_pd(d45, d45));
+    acc67 = _mm_add_pd(acc67, _mm_mul_pd(d67, d67));
+  }
+  double s[8];
+  _mm_storeu_pd(s + 0, acc01);
+  _mm_storeu_pd(s + 2, acc23);
+  _mm_storeu_pd(s + 4, acc45);
+  _mm_storeu_pd(s + 6, acc67);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s[i % 8] += d * d;
+  }
+  return Reduce8(s);
+}
+
+void AxpyF32Sse2(double scale, const float* x, float* y, size_t n) {
+  const __m128d vscale = _mm_set1_pd(scale);
+  const size_t blocks = n - n % 4;
+  size_t i = 0;
+  for (; i < blocks; i += 4) {
+    const __m128 vx = _mm_loadu_ps(x + i);
+    // Double product rounded to float, then float add — elementwise, so
+    // identical to the scalar semantics.
+    const __m128 lo =
+        _mm_cvtpd_ps(_mm_mul_pd(_mm_cvtps_pd(vx), vscale));
+    const __m128 hi = _mm_cvtpd_ps(_mm_mul_pd(CvtHighPd(vx), vscale));
+    const __m128 product = _mm_movelh_ps(lo, hi);
+    _mm_storeu_ps(y + i, _mm_add_ps(_mm_loadu_ps(y + i), product));
+  }
+  for (; i < n; ++i) {
+    y[i] += static_cast<float>(scale * static_cast<double>(x[i]));
+  }
+}
+
+void AxpyF64Sse2(double scale, const double* x, double* y, size_t n) {
+  const __m128d vscale = _mm_set1_pd(scale);
+  const size_t blocks = n - n % 2;
+  size_t i = 0;
+  for (; i < blocks; i += 2) {
+    const __m128d product = _mm_mul_pd(_mm_loadu_pd(x + i), vscale);
+    _mm_storeu_pd(y + i, _mm_add_pd(_mm_loadu_pd(y + i), product));
+  }
+  for (; i < n; ++i) y[i] += scale * x[i];
+}
+
+void ScaleF32Sse2(double factor, float* a, size_t n) {
+  const __m128d vfactor = _mm_set1_pd(factor);
+  const size_t blocks = n - n % 4;
+  size_t i = 0;
+  for (; i < blocks; i += 4) {
+    const __m128 va = _mm_loadu_ps(a + i);
+    const __m128 lo = _mm_cvtpd_ps(_mm_mul_pd(_mm_cvtps_pd(va), vfactor));
+    const __m128 hi = _mm_cvtpd_ps(_mm_mul_pd(CvtHighPd(va), vfactor));
+    _mm_storeu_ps(a + i, _mm_movelh_ps(lo, hi));
+  }
+  for (; i < n; ++i) {
+    a[i] = static_cast<float>(static_cast<double>(a[i]) * factor);
+  }
+}
+
+void ScaleF64Sse2(double factor, double* a, size_t n) {
+  const __m128d vfactor = _mm_set1_pd(factor);
+  const size_t blocks = n - n % 2;
+  size_t i = 0;
+  for (; i < blocks; i += 2) {
+    _mm_storeu_pd(a + i, _mm_mul_pd(_mm_loadu_pd(a + i), vfactor));
+  }
+  for (; i < n; ++i) a[i] *= factor;
+}
+
+const KernelTable kSse2Table = {
+    DotF32Sse2,  DotF64Sse2,   SqDistF64Sse2, AxpyF32Sse2,
+    AxpyF64Sse2, ScaleF32Sse2, ScaleF64Sse2,
+};
+
+}  // namespace
+
+const KernelTable* Sse2Kernels() { return &kSse2Table; }
+
+#else  // !WYM_SSE2_AVAILABLE
+
+const KernelTable* Sse2Kernels() { return nullptr; }
+
+#endif
+
+}  // namespace wym::la::kernels::internal

@@ -1,7 +1,9 @@
 #include "la/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "la/kernels.h"
 #include "util/logging.h"
 
 namespace wym::la {
@@ -45,10 +47,7 @@ Matrix Matrix::Multiply(const Matrix& other) const {
     for (size_t k = 0; k < cols_; ++k) {
       const double a = a_row[k];
       if (a == 0.0) continue;
-      const double* b_row = other.Row(k);
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out_row[j] += a * b_row[j];
-      }
+      kernels::Axpy(a, other.Row(k), out_row, other.cols_);
     }
   }
   return out;
@@ -57,8 +56,10 @@ Matrix Matrix::Multiply(const Matrix& other) const {
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
   for (size_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    double* out_data = out.data_.data();
     for (size_t j = 0; j < cols_; ++j) {
-      out.At(j, i) = At(i, j);
+      out_data[j * rows_ + i] = row[j];
     }
   }
   return out;
@@ -66,22 +67,26 @@ Matrix Matrix::Transposed() const {
 
 void Matrix::OrthonormalizeColumns() {
   constexpr double kEpsilon = 1e-12;
+  // Work on the transpose so each column is one contiguous row: the
+  // projection/renormalization loops become kernel Dot/Axpy/Scale calls
+  // instead of stride-cols_ element walks through the checked At().
+  Matrix t = Transposed();
   for (size_t j = 0; j < cols_; ++j) {
+    double* col_j = t.Row(j);
     // Subtract projections on the previous columns (modified Gram-Schmidt).
     for (size_t k = 0; k < j; ++k) {
-      double dot = 0.0;
-      for (size_t i = 0; i < rows_; ++i) dot += At(i, j) * At(i, k);
-      for (size_t i = 0; i < rows_; ++i) At(i, j) -= dot * At(i, k);
+      const double* col_k = t.Row(k);
+      const double dot = kernels::Dot(col_j, col_k, rows_);
+      kernels::Axpy(-dot, col_k, col_j, rows_);
     }
-    double norm = 0.0;
-    for (size_t i = 0; i < rows_; ++i) norm += At(i, j) * At(i, j);
-    norm = std::sqrt(norm);
+    const double norm = std::sqrt(kernels::SquaredNorm(col_j, rows_));
     if (norm < kEpsilon) {
-      for (size_t i = 0; i < rows_; ++i) At(i, j) = 0.0;
+      std::fill(col_j, col_j + rows_, 0.0);
       continue;
     }
-    for (size_t i = 0; i < rows_; ++i) At(i, j) /= norm;
+    kernels::Scale(1.0 / norm, col_j, rows_);
   }
+  *this = t.Transposed();
 }
 
 void Matrix::Save(serde::Serializer* s) const {

@@ -1,5 +1,6 @@
 #include "la/sparse_matrix.h"
 
+#include "la/kernels.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -31,10 +32,7 @@ Matrix SparseMatrix::MultiplyDense(const Matrix& block) const {
         for (size_t r = begin; r < end; ++r) {
           double* out_row = out.Row(r);
           for (const Entry& e : rows_[r]) {
-            const double* b_row = block.Row(e.col);
-            for (size_t j = 0; j < block.cols(); ++j) {
-              out_row[j] += e.value * b_row[j];
-            }
+            kernels::Axpy(e.value, block.Row(e.col), out_row, block.cols());
           }
         }
       });

@@ -2,20 +2,19 @@
 
 #include <cmath>
 
+#include "la/kernels.h"
 #include "util/logging.h"
 
 namespace wym::la {
 
 double Dot(const Vec& a, const Vec& b) {
   WYM_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return sum;
+  return kernels::Dot(a.data(), b.data(), a.size());
 }
 
-double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+double Norm(const Vec& a) {
+  return std::sqrt(kernels::SquaredNorm(a.data(), a.size()));
+}
 
 double Cosine(const Vec& a, const Vec& b) {
   const double na = Norm(a);
@@ -24,15 +23,15 @@ double Cosine(const Vec& a, const Vec& b) {
   return Dot(a, b) / (na * nb);
 }
 
+double CosineUnit(const Vec& a, const Vec& b) { return Dot(a, b); }
+
 void Axpy(double scale, const Vec& b, Vec* a) {
   WYM_CHECK_EQ(a->size(), b.size());
-  for (size_t i = 0; i < b.size(); ++i) {
-    (*a)[i] += static_cast<float>(scale * b[i]);
-  }
+  kernels::Axpy(scale, b.data(), a->data(), b.size());
 }
 
 void Scale(double factor, Vec* a) {
-  for (float& v : *a) v = static_cast<float>(v * factor);
+  kernels::Scale(factor, a->data(), a->size());
 }
 
 void Normalize(Vec* a) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/kernels.h"
 #include "util/logging.h"
 
 namespace wym::ml {
@@ -36,13 +37,9 @@ double KNearestNeighbors::PredictProba(const std::vector<double>& row) const {
   // Partial selection of the k smallest distances.
   std::vector<std::pair<double, int>> distances(n);
   for (size_t i = 0; i < n; ++i) {
-    const double* train_row = train_x_.Row(i);
-    double dist = 0.0;
-    for (size_t j = 0; j < row.size(); ++j) {
-      const double dv = row[j] - train_row[j];
-      dist += dv * dv;
-    }
-    distances[i] = {dist, train_y_[i]};
+    distances[i] = {
+        la::kernels::SquaredDistance(row.data(), train_x_.Row(i), row.size()),
+        train_y_[i]};
   }
   std::nth_element(distances.begin(), distances.begin() + (k - 1),
                    distances.end());

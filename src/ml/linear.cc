@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/kernels.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -13,9 +14,7 @@ namespace {
 double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
 
 double DotRow(const std::vector<double>& w, const double* row) {
-  double sum = 0.0;
-  for (size_t j = 0; j < w.size(); ++j) sum += w[j] * row[j];
-  return sum;
+  return la::kernels::Dot(w.data(), row, w.size());
 }
 
 }  // namespace
@@ -38,7 +37,7 @@ void LogisticRegression::Fit(const la::Matrix& x, const std::vector<int>& y) {
       const double* row = x.Row(i);
       const double p = Sigmoid(DotRow(weights_, row) + bias_);
       const double err = p - static_cast<double>(y[i]);
-      for (size_t j = 0; j < d; ++j) grad[j] += err * row[j];
+      la::kernels::Axpy(err, row, grad.data(), d);
       grad_bias += err;
     }
     const double inv_n = 1.0 / static_cast<double>(n);
@@ -86,9 +85,9 @@ void LinearSvm::Fit(const la::Matrix& x, const std::vector<int>& y) {
       const double margin = label * (DotRow(weights_, row) + bias_);
       // L2 shrink.
       const double shrink = 1.0 - eta * options_.lambda;
-      for (size_t j = 0; j < d; ++j) weights_[j] *= shrink;
+      la::kernels::Scale(shrink, weights_.data(), d);
       if (margin < 1.0) {
-        for (size_t j = 0; j < d; ++j) weights_[j] += eta * label * row[j];
+        la::kernels::Axpy(eta * label, row, weights_.data(), d);
         bias_ += eta * label;
       }
     }

@@ -15,6 +15,7 @@
 #include "core/wym.h"
 #include "data/benchmark_gen.h"
 #include "data/split.h"
+#include "la/kernels.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
 
@@ -203,6 +204,36 @@ TEST_F(BatchDeterminismTest, ExplainBatchBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(e1[i].units[u].unit.right.token,
                 e8[i].units[u].unit.right.token);
     }
+  }
+}
+
+TEST_F(BatchDeterminismTest,
+       PredictProbaBatchBitIdenticalAcrossSimdLevelsAndThreadCounts) {
+  // The determinism guarantee spans both axes: every {SIMD level} x
+  // {thread count} combination must produce the same bits.
+  using la::kernels::SimdLevel;
+  const SimdLevel ambient = la::kernels::ActiveSimdLevel();
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (la::kernels::DetectedSimdLevel() != SimdLevel::kScalar) {
+    levels.push_back(la::kernels::DetectedSimdLevel());
+  }
+
+  util::ThreadPool one(1), eight(8);
+  std::vector<std::vector<double>> runs;
+  for (SimdLevel level : levels) {
+    la::kernels::SetSimdLevel(level);
+    runs.push_back(model_->PredictProbaBatch(split_->test, &one));
+    runs.push_back(model_->PredictProbaBatch(split_->test, &eight));
+  }
+  la::kernels::SetSimdLevel(ambient);
+
+  ASSERT_EQ(runs.front().size(), split_->test.size());
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs.front().size());
+    EXPECT_EQ(std::memcmp(runs[r].data(), runs.front().data(),
+                          runs.front().size() * sizeof(double)),
+              0)
+        << "run " << r << " diverged from the scalar 1-thread reference";
   }
 }
 
