@@ -1,0 +1,53 @@
+#!/bin/sh
+# One-shot correctness gate: build + ctest in every supported checking
+# configuration, then print a pass/fail summary. Nonzero exit when any
+# configuration fails. Run from the repo root:
+#
+#   sh scripts/check.sh              # all configurations
+#   sh scripts/check.sh release      # just one (release|ubsan|debug-checks)
+#
+# Build trees land in build-check-<name>/ so they never disturb an
+# existing build/ directory. Set JOBS to cap build parallelism.
+
+set -u
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
+ONLY=${1:-all}
+
+SUMMARY=""
+FAILED=0
+
+run_config() {
+  name=$1
+  shift
+  if [ "$ONLY" != all ] && [ "$ONLY" != "$name" ]; then
+    return 0
+  fi
+  build="$ROOT/build-check-$name"
+  log="$build.log"
+  echo "==> [$name] configure + build + ctest ($build)"
+  if cmake -B "$build" -S "$ROOT" "$@" > "$log" 2>&1 \
+     && cmake --build "$build" -j "$JOBS" >> "$log" 2>&1 \
+     && ctest --test-dir "$build" --output-on-failure -j 2 >> "$log" 2>&1
+  then
+    SUMMARY="$SUMMARY
+  PASS  $name"
+  else
+    SUMMARY="$SUMMARY
+  FAIL  $name (see $log)"
+    FAILED=1
+    tail -n 30 "$log"
+  fi
+}
+
+# Release: the tier-1 configuration, including the wym_lint ctest gate.
+run_config release
+# UBSan: -fno-sanitize-recover=all makes any UB finding a test failure.
+run_config ubsan -DWYM_SANITIZE=undefined
+# Debug invariant tier: WYM_DCHECK bounds/dimension/NaN checks live.
+run_config debug-checks -DWYM_DEBUG_CHECKS=ON
+
+echo
+echo "check.sh summary:$SUMMARY"
+exit $FAILED

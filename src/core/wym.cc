@@ -163,15 +163,23 @@ ScoredUnitSet WymModel::BuildScoredUnits(const TokenizedRecord& record) const {
   ScoredUnitSet set;
   set.units = GenerateUnits(record);
   set.scores = ScoreUnits(record, set.units);
+  // Scorer stage boundary: relevance scores feed both the matcher and
+  // the ranked explanation, so a NaN here corrupts both.
+  WYM_DCHECK_FINITE(set.scores.data(), set.scores.size())
+      << "non-finite unit relevance score";
   return set;
 }
 
 double WymModel::PredictProba(const data::EmRecord& record) const {
-  return matcher_.PredictProba(BuildScoredUnits(Prepare(record)));
+  return PredictProbaFromUnits(BuildScoredUnits(Prepare(record)));
 }
 
 double WymModel::PredictProbaFromUnits(const ScoredUnitSet& set) const {
-  return matcher_.PredictProba(set);
+  const double proba = matcher_.PredictProba(set);
+  // Matcher stage boundary: probabilities must be finite (the classifier
+  // pool squashes through a logistic, so NaN means poisoned features).
+  WYM_DCHECK(std::isfinite(proba)) << "non-finite match probability";
+  return proba;
 }
 
 Explanation WymModel::Explain(const data::EmRecord& record) const {

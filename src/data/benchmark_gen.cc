@@ -250,6 +250,7 @@ const char* DatasetTypeName(DatasetType type) {
 
 const std::vector<DatasetSpec>& BenchmarkSpecs() {
   static const std::vector<DatasetSpec>& specs =
+      // wym-lint: allow(no-raw-new-delete): intentional immortal-singleton leak; a static value would die in unspecified order
       *new std::vector<DatasetSpec>(BuildSpecs());
   return specs;
 }

@@ -87,6 +87,7 @@ void CoocEmbedder::Fit(const std::vector<std::vector<std::string>>& sentences) {
   std::vector<double> row_sum(n, 0.0);
   double total = 0.0;
   for (const CoocShard& shard : shards) {
+    // wym-lint: allow(unordered-iteration): per-key merge; each key's sum is visit-order-independent, and the PPMI build below iterates key-sorted
     for (const auto& [key, weight] : shard.cooc) cooc[key] += weight;
     for (size_t i = 0; i < n; ++i) row_sum[i] += shard.row_sum[i];
     total += shard.total;

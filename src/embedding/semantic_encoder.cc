@@ -147,6 +147,11 @@ std::vector<la::Vec> SemanticEncoder::EncodeTokens(
   if (options_.mode == EncoderMode::kSiamese && calibrator_.fitted()) {
     for (auto& v : mixed) v = calibrator_.Apply(v);
   }
+  // Encoder stage boundary: a NaN/Inf in an embedding would silently
+  // poison every downstream similarity; abort here under debug checks.
+  for (const la::Vec& v : mixed) {
+    WYM_DCHECK_FINITE(v.data(), v.size()) << "non-finite token embedding";
+  }
   return mixed;
 }
 

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/logging.h"
+
 namespace wym::la::kernels {
 
 namespace {
@@ -183,41 +185,54 @@ SimdLevel SetSimdLevel(SimdLevel level) {
 }
 
 double Dot(const float* a, const float* b, size_t n) {
+  WYM_DCHECK(n == 0 || (a != nullptr && b != nullptr));
   return Active().dot_f32(a, b, n);
 }
 
 double Dot(const double* a, const double* b, size_t n) {
+  WYM_DCHECK(n == 0 || (a != nullptr && b != nullptr));
   return Active().dot_f64(a, b, n);
 }
 
-double SquaredNorm(const float* a, size_t n) { return Active().dot_f32(a, a, n); }
+double SquaredNorm(const float* a, size_t n) {
+  WYM_DCHECK(n == 0 || a != nullptr);
+  return Active().dot_f32(a, a, n);
+}
 
 double SquaredNorm(const double* a, size_t n) {
+  WYM_DCHECK(n == 0 || a != nullptr);
   return Active().dot_f64(a, a, n);
 }
 
 double SquaredDistance(const double* a, const double* b, size_t n) {
+  WYM_DCHECK(n == 0 || (a != nullptr && b != nullptr));
   return Active().sqdist_f64(a, b, n);
 }
 
 void Axpy(double scale, const float* x, float* y, size_t n) {
+  WYM_DCHECK(n == 0 || (x != nullptr && y != nullptr));
   Active().axpy_f32(scale, x, y, n);
 }
 
 void Axpy(double scale, const double* x, double* y, size_t n) {
+  WYM_DCHECK(n == 0 || (x != nullptr && y != nullptr));
   Active().axpy_f64(scale, x, y, n);
 }
 
 void Scale(double factor, float* a, size_t n) {
+  WYM_DCHECK(n == 0 || a != nullptr);
   Active().scale_f32(factor, a, n);
 }
 
 void Scale(double factor, double* a, size_t n) {
+  WYM_DCHECK(n == 0 || a != nullptr);
   Active().scale_f64(factor, a, n);
 }
 
 void SimilarityMatrix(const float* a, size_t a_rows, const float* b,
                       size_t b_rows, size_t dim, double* out) {
+  WYM_DCHECK(a_rows == 0 || b_rows == 0 ||
+             (dim > 0 && a != nullptr && b != nullptr && out != nullptr));
   const internal::KernelTable& table = Active();
   // Block over rows so a block of B rows stays cache-resident while a
   // block of A rows streams over it. Each cell is one independent Dot,

@@ -11,28 +11,6 @@ namespace wym::la {
 Matrix::Matrix(size_t rows, size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
-double& Matrix::At(size_t r, size_t c) {
-  WYM_CHECK_LT(r, rows_);
-  WYM_CHECK_LT(c, cols_);
-  return data_[r * cols_ + c];
-}
-
-double Matrix::At(size_t r, size_t c) const {
-  WYM_CHECK_LT(r, rows_);
-  WYM_CHECK_LT(c, cols_);
-  return data_[r * cols_ + c];
-}
-
-double* Matrix::Row(size_t r) {
-  WYM_CHECK_LT(r, rows_);
-  return data_.data() + r * cols_;
-}
-
-const double* Matrix::Row(size_t r) const {
-  WYM_CHECK_LT(r, rows_);
-  return data_.data() + r * cols_;
-}
-
 std::vector<double> Matrix::RowVector(size_t r) const {
   const double* p = Row(r);
   return std::vector<double>(p, p + cols_);

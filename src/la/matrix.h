@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/logging.h"
 #include "util/serde.h"
 
 /// \file
@@ -23,13 +24,29 @@ class Matrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
-  /// Element access; bounds-checked in debug via WYM_CHECK.
-  double& At(size_t r, size_t c);
-  double At(size_t r, size_t c) const;
+  /// Element access. Inline (this is the eigensolver/LDA hot path);
+  /// bounds-checked only under WYM_DEBUG_CHECKS builds.
+  double& At(size_t r, size_t c) {
+    WYM_DCHECK_LT(r, rows_);
+    WYM_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    WYM_DCHECK_LT(r, rows_);
+    WYM_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
 
-  /// Pointer to row r (cols() contiguous doubles).
-  double* Row(size_t r);
-  const double* Row(size_t r) const;
+  /// Pointer to row r (cols() contiguous doubles); bounds-checked only
+  /// under WYM_DEBUG_CHECKS builds.
+  double* Row(size_t r) {
+    WYM_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* Row(size_t r) const {
+    WYM_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
 
   /// Copies row r into a vector.
   std::vector<double> RowVector(size_t r) const;

@@ -32,6 +32,7 @@ Matrix SparseMatrix::MultiplyDense(const Matrix& block) const {
         for (size_t r = begin; r < end; ++r) {
           double* out_row = out.Row(r);
           for (const Entry& e : rows_[r]) {
+            WYM_DCHECK_LT(e.col, block.rows());
             kernels::Axpy(e.value, block.Row(e.col), out_row, block.cols());
           }
         }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "la/kernels.h"
 #include "util/logging.h"
 
 namespace wym::ml {
@@ -62,16 +63,17 @@ void LinearDiscriminant::Fit(const la::Matrix& x, const std::vector<int>& y) {
   weights_ = la::SolveLinearSystem(cov, diff, options_.ridge);
 
   // Intercept: -w.(mu0+mu1)/2 + log(p1/p0).
-  double mid = 0.0;
-  for (size_t j = 0; j < d; ++j) mid += weights_[j] * (mean0[j] + mean1[j]);
+  std::vector<double> mean_sum(d);
+  for (size_t j = 0; j < d; ++j) mean_sum[j] = mean0[j] + mean1[j];
+  const double mid = la::kernels::Dot(weights_.data(), mean_sum.data(), d);
   bias_ = -0.5 * mid + std::log(static_cast<double>(n1) /
                                 static_cast<double>(n0));
 }
 
 double LinearDiscriminant::PredictProba(const std::vector<double>& row) const {
   WYM_CHECK_EQ(row.size(), weights_.size());
-  double z = bias_;
-  for (size_t j = 0; j < row.size(); ++j) z += weights_[j] * row[j];
+  const double z =
+      bias_ + la::kernels::Dot(weights_.data(), row.data(), row.size());
   return 1.0 / (1.0 + std::exp(-z));
 }
 

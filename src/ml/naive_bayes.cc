@@ -69,6 +69,7 @@ double GaussianNaiveBayes::PredictProba(const std::vector<double>& row) const {
     double ll = log_prior_[c];
     for (size_t j = 0; j < row.size(); ++j) {
       const double dv = row[j] - mean_[c][j];
+      // wym-lint: allow(kernel-bypass-accumulation): fixed-order scalar loop over strided class stats, not a contiguous dot
       ll += -0.5 * (std::log(2.0 * M_PI * var_[c][j]) + dv * dv / var_[c][j]);
     }
     log_like[c] = ll;

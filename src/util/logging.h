@@ -1,6 +1,8 @@
 #ifndef WYM_UTIL_LOGGING_H_
 #define WYM_UTIL_LOGGING_H_
 
+#include <cmath>
+#include <cstddef>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -12,6 +14,14 @@
 /// Library code never throws: invariant violations (programming errors)
 /// abort through `WYM_CHECK`, recoverable failures (I/O, parsing) flow
 /// through `wym::Status` (see util/status.h).
+///
+/// Two tiers:
+///   - `WYM_CHECK*`   — always on; shape/contract checks on cold paths.
+///   - `WYM_DCHECK*`  — the debug invariant tier; compiled only under
+///     `-DWYM_DEBUG_CHECKS=ON` (per-element bounds checks, kernel
+///     dimension checks, NaN/Inf guards at stage boundaries). In release
+///     builds the condition is parsed but never evaluated, so it costs
+///     nothing on hot paths and cannot bit-rot.
 
 namespace wym::internal {
 
@@ -43,6 +53,16 @@ class CheckFailure {
   std::ostringstream stream_;
 };
 
+/// True when every element of `values[0..n)` is finite (no NaN/Inf).
+/// Backs WYM_DCHECK_FINITE — the encoder/matcher stage-boundary guards.
+template <typename T>
+bool RangeIsFinite(const T* values, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(static_cast<double>(values[i]))) return false;
+  }
+  return true;
+}
+
 }  // namespace wym::internal
 
 /// Aborts with a diagnostic when `condition` is false.
@@ -61,5 +81,30 @@ class CheckFailure {
 #define WYM_CHECK_LE(lhs, rhs) WYM_CHECK_OP(lhs, rhs, <=)
 #define WYM_CHECK_GT(lhs, rhs) WYM_CHECK_OP(lhs, rhs, >)
 #define WYM_CHECK_GE(lhs, rhs) WYM_CHECK_OP(lhs, rhs, >=)
+
+/// Debug invariant tier (see file comment). In release the `true || ...`
+/// short-circuit keeps the operands compiled — names stay used, typos
+/// still break the build — but never evaluated, and the dead branch
+/// folds away entirely.
+#ifdef WYM_DEBUG_CHECKS
+#define WYM_DCHECK(condition) WYM_CHECK(condition)
+#define WYM_DCHECK_OP(lhs, rhs, op) WYM_CHECK_OP(lhs, rhs, op)
+#else
+#define WYM_DCHECK(condition) WYM_CHECK(true || (condition))
+#define WYM_DCHECK_OP(lhs, rhs, op) WYM_CHECK(true || ((lhs)op(rhs)))
+#endif
+
+#define WYM_DCHECK_EQ(lhs, rhs) WYM_DCHECK_OP(lhs, rhs, ==)
+#define WYM_DCHECK_NE(lhs, rhs) WYM_DCHECK_OP(lhs, rhs, !=)
+#define WYM_DCHECK_LT(lhs, rhs) WYM_DCHECK_OP(lhs, rhs, <)
+#define WYM_DCHECK_LE(lhs, rhs) WYM_DCHECK_OP(lhs, rhs, <=)
+#define WYM_DCHECK_GT(lhs, rhs) WYM_DCHECK_OP(lhs, rhs, >)
+#define WYM_DCHECK_GE(lhs, rhs) WYM_DCHECK_OP(lhs, rhs, >=)
+
+/// NaN/Inf guard over a contiguous range; used at the encoder and
+/// matcher stage boundaries so a poisoned value aborts where it is
+/// produced, not three subsystems downstream.
+#define WYM_DCHECK_FINITE(ptr, n) \
+  WYM_DCHECK(::wym::internal::RangeIsFinite((ptr), (n)))
 
 #endif  // WYM_UTIL_LOGGING_H_

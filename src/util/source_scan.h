@@ -1,0 +1,89 @@
+#ifndef WYM_UTIL_SOURCE_SCAN_H_
+#define WYM_UTIL_SOURCE_SCAN_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// `wym-lint`: an in-repo static analyzer for the project's determinism,
+/// safety and hygiene rules (see DESIGN.md "Correctness tooling").
+///
+/// The scanner is deliberately lexical, not semantic: a lightweight C++
+/// lexer classifies every character of a translation unit as code,
+/// comment, string-literal body or preprocessor text, and each check
+/// then pattern-matches only the regions it cares about. That makes the
+/// analyzer immune to the classic grep failure modes (banned patterns
+/// quoted in strings, commented-out code, raw-string test fixtures)
+/// while staying dependency-free — the container has no clang-tidy, so
+/// the guarantee has to be enforceable with what the repo itself builds.
+///
+/// Checks are named and individually suppressible at the line level
+/// with a marker comment (the example placeholder names no real check,
+/// so it sits under its own suppression — the mechanism demonstrating
+/// itself):
+///
+///   // wym-lint: allow(lint-suppression): placeholder syntax example
+///   legitimate_call();  // wym-lint: allow(check-name): why it is fine
+///
+/// A suppression covers its own line and the following line (so a
+/// standalone comment can precede the code it excuses). The reason
+/// string is mandatory; an absent reason, an unknown check name or an
+/// unused suppression is itself reported under `lint-suppression`.
+
+namespace wym::lint {
+
+/// One source line split into lexical views. All views preserve column
+/// positions (masked characters become spaces) so findings can point at
+/// real columns if ever needed.
+struct LexedLine {
+  /// The line with comments and string-literal bodies blanked out.
+  /// Preprocessor lines keep their string bodies (include paths matter
+  /// to checks) but still lose comments.
+  std::string code;
+  /// Comment text only (everything else blanked).
+  std::string comment;
+  /// True when the line belongs to a preprocessor directive (including
+  /// backslash-continuation lines).
+  bool preprocessor = false;
+};
+
+/// Lexes a whole file into per-line views. Handles `//` and `/* */`
+/// comments, string and character literals with escapes, raw strings
+/// (`R"delim(...)delim"`), digit separators and preprocessor
+/// continuations.
+std::vector<LexedLine> LexLines(const std::string& text);
+
+/// One rule violation.
+struct Finding {
+  std::string path;   ///< Repo-relative path, '/'-separated.
+  int line = 0;       ///< 1-based.
+  std::string check;  ///< Check name, e.g. "no-rand".
+  std::string message;
+};
+
+/// Renders "path:line: [check] message" — the contract the ctest gate
+/// and the acceptance tests grep for.
+std::string FormatFinding(const Finding& finding);
+
+/// Scan statistics, mostly for the driver's summary line.
+struct ScanStats {
+  int suppressions_honored = 0;
+};
+
+/// Runs every check against one file. `path` must be the repo-relative
+/// path ('/'-separated) — several checks scope by directory. Returns the
+/// unsuppressed findings in line order.
+std::vector<Finding> ScanSource(const std::string& path,
+                                const std::string& text,
+                                ScanStats* stats = nullptr);
+
+/// All check names the scanner knows, for --list-checks and the
+/// suppression validator.
+const std::vector<std::string>& AllCheckNames();
+
+/// True when `name` names a known check.
+bool IsKnownCheck(const std::string& name);
+
+}  // namespace wym::lint
+
+#endif  // WYM_UTIL_SOURCE_SCAN_H_

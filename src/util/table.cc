@@ -62,6 +62,7 @@ std::string TablePrinter::ToString() const {
   return out;
 }
 
+// wym-lint: allow(no-cout): Print()'s documented contract is stdout
 void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
 
 }  // namespace wym

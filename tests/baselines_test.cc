@@ -16,8 +16,8 @@ namespace {
 
 /// Shared easy dataset: every baseline must clear a basic F1 bar on it.
 const data::Split& EasySplit() {
-  static const data::Split& split = *new data::Split(
-      data::DefaultSplit(data::GenerateById("S-FZ", 42, 0.5), 42));
+  static const data::Split split =
+      data::DefaultSplit(data::GenerateById("S-FZ", 42, 0.5), 42);
   return split;
 }
 

@@ -348,11 +348,15 @@ TEST(RelevanceScorerTest, NeuralScorerLearnsPairedVsUnpaired) {
   const auto non_match_scores = scorer.Score(records[1], units[1]);
   // Paired identical units in the match score positive...
   for (size_t u = 0; u < units[0].size(); ++u) {
-    if (units[0][u].paired) EXPECT_GT(scores[u], 0.0);
+    if (units[0][u].paired) {
+      EXPECT_GT(scores[u], 0.0);
+    }
   }
   // ...and unpaired units in the non-match score negative.
   for (size_t u = 0; u < units[1].size(); ++u) {
-    if (!units[1][u].paired) EXPECT_LT(non_match_scores[u], 0.0);
+    if (!units[1][u].paired) {
+      EXPECT_LT(non_match_scores[u], 0.0);
+    }
   }
 }
 

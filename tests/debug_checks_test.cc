@@ -1,0 +1,101 @@
+// Tests for the WYM_DCHECK debug invariant tier in BOTH build modes.
+// The same binary is compiled with and without -DWYM_DEBUG_CHECKS=ON:
+// under the debug tier the instrumented paths (Matrix::At/Row bounds,
+// kernel pointer/dimension contracts, NaN guards) must abort via
+// WYM_CHECK; in release builds the very same macros must not evaluate
+// their operands at all.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "la/kernels.h"
+#include "la/matrix.h"
+#include "util/logging.h"
+
+namespace {
+
+int Touch(int* evaluations) {
+  ++*evaluations;
+  return 1;
+}
+
+#ifdef WYM_DEBUG_CHECKS
+
+TEST(DebugChecksDeathTest, MatrixAtOutOfBoundsAborts) {
+  wym::la::Matrix m(2, 3);
+  EXPECT_DEATH(m.At(2, 0), "WYM_CHECK failed");
+  EXPECT_DEATH(m.At(0, 3), "WYM_CHECK failed");
+  const wym::la::Matrix& cm = m;
+  EXPECT_DEATH(cm.At(5, 5), "WYM_CHECK failed");
+}
+
+TEST(DebugChecksDeathTest, MatrixRowOutOfBoundsAborts) {
+  wym::la::Matrix m(2, 3);
+  EXPECT_DEATH(m.Row(2), "WYM_CHECK failed");
+  const wym::la::Matrix& cm = m;
+  EXPECT_DEATH(cm.Row(7), "WYM_CHECK failed");
+}
+
+TEST(DebugChecksDeathTest, KernelNullPointerContractAborts) {
+  const double* null_vec = nullptr;
+  EXPECT_DEATH(wym::la::kernels::Dot(null_vec, null_vec, 3),
+               "WYM_CHECK failed");
+}
+
+TEST(DebugChecksDeathTest, DcheckFiniteAbortsOnNaNAndInf) {
+  const double nan_range[] = {1.0,
+                              std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_DEATH(WYM_DCHECK_FINITE(nan_range, 2) << "poisoned",
+               "WYM_CHECK failed.*poisoned");
+  const double inf_range[] = {std::numeric_limits<double>::infinity()};
+  EXPECT_DEATH(WYM_DCHECK_FINITE(inf_range, 1), "WYM_CHECK failed");
+}
+
+TEST(DebugChecksTest, PassingDchecksEvaluateAndContinue) {
+  int evaluations = 0;
+  WYM_DCHECK(Touch(&evaluations) == 1);
+  WYM_DCHECK_EQ(Touch(&evaluations), 1);
+  EXPECT_EQ(evaluations, 2);
+}
+
+#else  // !WYM_DEBUG_CHECKS
+
+TEST(DebugChecksTest, ReleaseDchecksDoNotEvaluateOperands) {
+  int evaluations = 0;
+  WYM_DCHECK(Touch(&evaluations) == 0);   // Would fail if evaluated.
+  WYM_DCHECK_EQ(Touch(&evaluations), 0);  // Would fail if evaluated.
+  WYM_DCHECK_LT(Touch(&evaluations), -1);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(DebugChecksTest, ReleaseDcheckFiniteIsInertOnPoisonedData) {
+  const double nan_range[] = {std::numeric_limits<double>::quiet_NaN()};
+  WYM_DCHECK_FINITE(nan_range, 1) << "never printed";
+  SUCCEED();
+}
+
+TEST(DebugChecksTest, ReleaseMatrixAccessIsUnchecked) {
+  // In-bounds access must work identically in both modes; that is the
+  // only behavior release builds promise.
+  wym::la::Matrix m(2, 3);
+  m.At(1, 2) = 4.0;
+  EXPECT_EQ(m.At(1, 2), 4.0);
+  EXPECT_EQ(m.Row(1)[2], 4.0);
+}
+
+#endif  // WYM_DEBUG_CHECKS
+
+// Mode-independent: the finite-range helper itself.
+TEST(RangeIsFiniteTest, DetectsNaNAndInfAnywhereInRange) {
+  const double good[] = {0.0, -1.5, 1e300};
+  EXPECT_TRUE(wym::internal::RangeIsFinite(good, 3));
+  const double bad_nan[] = {0.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(wym::internal::RangeIsFinite(bad_nan, 2));
+  const float bad_inf[] = {1.0f, -std::numeric_limits<float>::infinity()};
+  EXPECT_FALSE(wym::internal::RangeIsFinite(bad_inf, 2));
+  EXPECT_TRUE(wym::internal::RangeIsFinite(bad_nan, 0));
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "core/matcher.h"
 #include "core/wym.h"
@@ -148,26 +149,26 @@ class EvaluationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     const data::Dataset dataset = data::GenerateById("S-FZ", 42, 0.4);
-    split_ = new data::Split(data::DefaultSplit(dataset, 42));
-    model_ = new core::WymModel();
+    split_ = std::make_unique<data::Split>(data::DefaultSplit(dataset, 42));
+    model_ = std::make_unique<core::WymModel>();
     model_->Fit(split_->train, split_->validation);
-    sample_ = new data::Dataset(
+    sample_ = std::make_unique<data::Dataset>(
         data::Subset(split_->test, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, "/s"));
   }
   static void TearDownTestSuite() {
-    delete sample_;
-    delete model_;
-    delete split_;
+    sample_.reset();
+    model_.reset();
+    split_.reset();
   }
 
-  static data::Split* split_;
-  static core::WymModel* model_;
-  static data::Dataset* sample_;
+  static std::unique_ptr<data::Split> split_;
+  static std::unique_ptr<core::WymModel> model_;
+  static std::unique_ptr<data::Dataset> sample_;
 };
 
-data::Split* EvaluationTest::split_ = nullptr;
-core::WymModel* EvaluationTest::model_ = nullptr;
-data::Dataset* EvaluationTest::sample_ = nullptr;
+std::unique_ptr<data::Split> EvaluationTest::split_;
+std::unique_ptr<core::WymModel> EvaluationTest::model_;
+std::unique_ptr<data::Dataset> EvaluationTest::sample_;
 
 TEST_F(EvaluationTest, ConcisenessCurveIsMonotone) {
   std::vector<core::Explanation> explanations;

@@ -1,0 +1,405 @@
+// Unit tests for the wym-lint scanner (util/source_scan): the C++
+// lexer's region classification and each check firing / staying quiet /
+// being suppressed on synthetic snippets. Every snippet lives in a
+// string literal, which is itself the first regression test: the lexer
+// masks literal bodies, so this file scans clean under the real linter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/source_scan.h"
+
+namespace wym::lint {
+namespace {
+
+std::vector<Finding> Scan(const std::string& path, const std::string& text,
+                          ScanStats* stats = nullptr) {
+  return ScanSource(path, text, stats);
+}
+
+bool HasCheck(const std::vector<Finding>& findings, const std::string& name) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.check == name; });
+}
+
+int LineOf(const std::vector<Finding>& findings, const std::string& name) {
+  for (const Finding& f : findings) {
+    if (f.check == name) return f.line;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+TEST(LexLinesTest, MasksLineCommentsOutOfCode) {
+  const auto lines = LexLines("int a;  // std::rand() here\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[0].code.find("int a;"), std::string::npos);
+  EXPECT_NE(lines[0].comment.find("std::rand() here"), std::string::npos);
+}
+
+TEST(LexLinesTest, MasksBlockCommentsAcrossLines) {
+  const auto lines = LexLines("int a; /* std::rand()\n rand() */ int b;\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].code.find("rand"), std::string::npos);
+  EXPECT_EQ(lines[1].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[1].code.find("int b;"), std::string::npos);
+  EXPECT_NE(lines[0].comment.find("std::rand()"), std::string::npos);
+}
+
+TEST(LexLinesTest, MasksStringBodiesButKeepsDelimiters) {
+  const auto lines = LexLines("auto s = \"std::rand()\"; int c;\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[0].code.find('"'), std::string::npos);
+  EXPECT_NE(lines[0].code.find("int c;"), std::string::npos);
+}
+
+TEST(LexLinesTest, HandlesEscapedQuotesInsideStrings) {
+  const auto lines = LexLines("auto s = \"a\\\"rand()\\\"b\"; int d;\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[0].code.find("int d;"), std::string::npos);
+}
+
+TEST(LexLinesTest, MasksRawStringsIncludingCustomDelimiters) {
+  const auto lines =
+      LexLines("auto s = R\"xy(std::rand() \" )\" )xy\"; int e;\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[0].code.find("int e;"), std::string::npos);
+}
+
+TEST(LexLinesTest, MultiLineRawStringMasksEveryLine) {
+  const auto lines = LexLines("auto s = R\"(\nstd::rand();\n)\"; int f;\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[2].code.find("int f;"), std::string::npos);
+}
+
+TEST(LexLinesTest, DigitSeparatorIsNotACharLiteral) {
+  const auto lines = LexLines("int n = 1'000'000; int m = g(2);\n");
+  ASSERT_EQ(lines.size(), 1u);
+  // If the separator opened a char literal, g(2) would be masked.
+  EXPECT_NE(lines[0].code.find("g(2)"), std::string::npos);
+}
+
+TEST(LexLinesTest, CharLiteralBodyIsMasked) {
+  const auto lines = LexLines("char c = ';'; int g;\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].code.find("int g;"), std::string::npos);
+  // The ';' inside the literal is masked; the two real semicolons stay.
+  EXPECT_EQ(std::count(lines[0].code.begin(), lines[0].code.end(), ';'), 2);
+}
+
+TEST(LexLinesTest, PreprocessorLinesKeepIncludePaths) {
+  const auto lines = LexLines("#include \"la/kernels.h\"\nint x;\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].preprocessor);
+  EXPECT_FALSE(lines[1].preprocessor);
+  EXPECT_NE(lines[0].code.find("la/kernels.h"), std::string::npos);
+}
+
+TEST(LexLinesTest, PreprocessorContinuationStaysPreprocessor) {
+  const auto lines = LexLines("#define FOO(a) \\\n  ((a) + 1)\nint y;\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(lines[0].preprocessor);
+  EXPECT_TRUE(lines[1].preprocessor);
+  EXPECT_FALSE(lines[2].preprocessor);
+}
+
+// ---------------------------------------------------------------------
+// Determinism checks
+// ---------------------------------------------------------------------
+
+TEST(NoRandCheckTest, FiresOnRandOutsideUtilAndBench) {
+  const std::string snippet = "int f() { return std::rand(); }\n";
+  EXPECT_TRUE(HasCheck(Scan("src/core/x.cc", snippet), "no-rand"));
+  EXPECT_FALSE(HasCheck(Scan("src/util/x.cc", snippet), "no-rand"));
+  EXPECT_FALSE(HasCheck(Scan("bench/x.cc", snippet), "no-rand"));
+}
+
+TEST(NoRandCheckTest, FiresOnTimeAndClockNowButNotLookalikes) {
+  EXPECT_TRUE(
+      HasCheck(Scan("src/a.cc", "long t() { return time(nullptr); }\n"),
+               "no-rand"));
+  EXPECT_TRUE(HasCheck(
+      Scan("src/a.cc", "auto t = std::chrono::steady_clock::now();\n"),
+      "no-rand"));
+  EXPECT_TRUE(HasCheck(Scan("src/a.cc", "std::random_device rd;\n"),
+                       "no-rand"));
+  // Identifiers merely containing the banned substrings do not fire.
+  EXPECT_FALSE(HasCheck(
+      Scan("src/a.cc", "double r = Runtime(x); int b = brand; h = now;\n"),
+      "no-rand"));
+}
+
+TEST(NoRandCheckTest, CommentedAndQuotedPatternsDoNotFire) {
+  EXPECT_FALSE(HasCheck(
+      Scan("src/a.cc", "// std::rand()\nauto s = \"rand()\";\n"), "no-rand"));
+}
+
+TEST(UnorderedIterationCheckTest, FiresOnlyInOutputWritingFiles) {
+  const std::string writer =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m_;\n"
+      "void Save() { for (const auto& kv : m_) { Use(kv); } }\n";
+  const auto findings = Scan("src/core/x.cc", writer);
+  EXPECT_TRUE(HasCheck(findings, "unordered-iteration"));
+  EXPECT_EQ(LineOf(findings, "unordered-iteration"), 3);
+
+  // Same iteration in a file with no serializer/Save marker: quiet.
+  const std::string reader =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m_;\n"
+      "void Emit() { for (const auto& kv : m_) { Use(kv); } }\n";
+  EXPECT_FALSE(HasCheck(Scan("src/core/x.cc", reader),
+                        "unordered-iteration"));
+}
+
+TEST(UnorderedIterationCheckTest, OrderedContainerIsQuiet) {
+  const std::string snippet =
+      "std::map<int, int> m_;\n"
+      "void Save() { for (const auto& kv : m_) { Use(kv); } }\n";
+  EXPECT_FALSE(HasCheck(Scan("src/core/x.cc", snippet),
+                        "unordered-iteration"));
+}
+
+TEST(NoParallelReduceCheckTest, FiresOnStdReduceAndExecution) {
+  EXPECT_TRUE(HasCheck(
+      Scan("src/a.cc", "double s = std::reduce(v.begin(), v.end());\n"),
+      "no-parallel-reduce"));
+  EXPECT_TRUE(HasCheck(
+      Scan("src/a.cc", "std::sort(std::execution::par, b, e);\n"),
+      "no-parallel-reduce"));
+  EXPECT_FALSE(HasCheck(
+      Scan("src/a.cc", "double s = std::accumulate(b, e, 0.0);\n"),
+      "no-parallel-reduce"));
+}
+
+TEST(KernelBypassCheckTest, FiresOnDotLoopsInMathDirsOnly) {
+  const std::string dot =
+      "for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];\n";
+  EXPECT_TRUE(HasCheck(Scan("src/ml/x.cc", dot),
+                       "kernel-bypass-accumulation"));
+  EXPECT_TRUE(HasCheck(Scan("src/la/x.cc", dot),
+                       "kernel-bypass-accumulation"));
+  // Outside the math subsystems: quiet.
+  EXPECT_FALSE(HasCheck(Scan("src/core/x.cc", dot),
+                        "kernel-bypass-accumulation"));
+  // The kernel TUs implement the pinned order itself.
+  EXPECT_FALSE(HasCheck(Scan("src/la/kernels.cc", dot),
+                        "kernel-bypass-accumulation"));
+  EXPECT_FALSE(HasCheck(Scan("src/la/kernels_avx2.cc", dot),
+                        "kernel-bypass-accumulation"));
+}
+
+TEST(KernelBypassCheckTest, ElementwiseAccumulationIsQuiet) {
+  // Indexed accumulator: each element is an independent sum, no
+  // reduction order to pin.
+  EXPECT_FALSE(HasCheck(
+      Scan("src/ml/x.cc",
+           "for (size_t i = 0; i < n; ++i) out[i] += a[i] * b[i];\n"),
+      "kernel-bypass-accumulation"));
+  // Scalar-times-gather with a single subscript: not a dot shape.
+  EXPECT_FALSE(HasCheck(
+      Scan("src/ml/x.cc",
+           "for (size_t i = 0; i < n; ++i) acc += w * y[idx];\n"),
+      "kernel-bypass-accumulation"));
+}
+
+// ---------------------------------------------------------------------
+// Safety checks
+// ---------------------------------------------------------------------
+
+TEST(RawNewDeleteCheckTest, FiresOnNewAndDelete) {
+  EXPECT_TRUE(HasCheck(Scan("src/a.cc", "int* p = new int;\n"),
+                       "no-raw-new-delete"));
+  EXPECT_TRUE(HasCheck(Scan("src/a.cc", "delete p;\n"),
+                       "no-raw-new-delete"));
+  EXPECT_TRUE(HasCheck(Scan("src/a.cc", "delete[] p;\n"),
+                       "no-raw-new-delete"));
+}
+
+TEST(RawNewDeleteCheckTest, AllowsDeletedFunctionsAndPlacementNew) {
+  EXPECT_FALSE(HasCheck(Scan("src/a.h",
+                             "#ifndef WYM_A_H_\n#define WYM_A_H_\n"
+                             "struct F { F(const F&) = delete; };\n"
+                             "#endif  // WYM_A_H_\n"),
+                        "no-raw-new-delete"));
+  EXPECT_FALSE(HasCheck(Scan("src/a.cc", "auto* q = new (buffer) Foo();\n"),
+                        "no-raw-new-delete"));
+  // Identifiers containing the keywords are not the keywords.
+  EXPECT_FALSE(HasCheck(Scan("src/a.cc", "int news = renew + deleted;\n"),
+                        "no-raw-new-delete"));
+}
+
+TEST(MemcpyCheckTest, FiresOnNonTriviallyCopyableHints) {
+  EXPECT_TRUE(HasCheck(
+      Scan("src/a.cc",
+           "std::memcpy(dst, src, n * sizeof(std::string));\n"),
+      "memcpy-nontrivial"));
+  EXPECT_FALSE(HasCheck(
+      Scan("src/a.cc", "std::memcpy(dst, src, n * sizeof(float));\n"),
+      "memcpy-nontrivial"));
+}
+
+TEST(HeaderGuardCheckTest, EnforcesPathDerivedGuardNames) {
+  const std::string good =
+      "#ifndef WYM_FOO_BAR_H_\n#define WYM_FOO_BAR_H_\n#endif\n";
+  EXPECT_FALSE(HasCheck(Scan("src/foo/bar.h", good), "header-guard"));
+  // The src/ prefix is dropped but tests/bench/tools prefixes are kept.
+  EXPECT_TRUE(HasCheck(Scan("src/baz/bar.h", good), "header-guard"));
+  EXPECT_FALSE(HasCheck(
+      Scan("bench/common.h",
+           "#ifndef WYM_BENCH_COMMON_H_\n#define WYM_BENCH_COMMON_H_\n"
+           "#endif\n"),
+      "header-guard"));
+}
+
+TEST(HeaderGuardCheckTest, FiresOnMissingGuardOrMismatchedDefine) {
+  EXPECT_TRUE(HasCheck(Scan("src/foo/bar.h", "int x;\n"), "header-guard"));
+  EXPECT_TRUE(HasCheck(
+      Scan("src/foo/bar.h",
+           "#ifndef WYM_FOO_BAR_H_\n#define WYM_OTHER_H_\n#endif\n"),
+      "header-guard"));
+  // Non-headers are exempt.
+  EXPECT_FALSE(HasCheck(Scan("src/foo/bar.cc", "int x;\n"), "header-guard"));
+}
+
+TEST(UsingNamespaceHeaderCheckTest, HeadersOnly) {
+  const std::string snippet =
+      "#ifndef WYM_A_H_\n#define WYM_A_H_\n"
+      "using namespace std;\n#endif\n";
+  EXPECT_TRUE(
+      HasCheck(Scan("src/a.h", snippet), "no-using-namespace-header"));
+  EXPECT_FALSE(HasCheck(Scan("src/a.cc", "using namespace std;\n"),
+                        "no-using-namespace-header"));
+}
+
+// ---------------------------------------------------------------------
+// Hygiene checks
+// ---------------------------------------------------------------------
+
+TEST(SimdCheckTest, IntrinsicsConfinedToKernelTus) {
+  EXPECT_TRUE(HasCheck(
+      Scan("src/core/x.cc", "__m256d v = _mm256_setzero_pd();\n"),
+      "simd-outside-kernels"));
+  EXPECT_TRUE(HasCheck(Scan("src/core/x.cc", "#include <immintrin.h>\n"),
+                       "simd-outside-kernels"));
+  EXPECT_FALSE(HasCheck(
+      Scan("src/la/kernels_avx2.cc",
+           "#include <immintrin.h>\n__m256d v = _mm256_setzero_pd();\n"),
+      "simd-outside-kernels"));
+}
+
+TEST(NoCoutCheckTest, LibraryCodeOnly) {
+  const std::string snippet = "void f() { std::cout << 1; }\n";
+  EXPECT_TRUE(HasCheck(Scan("src/core/x.cc", snippet), "no-cout"));
+  EXPECT_FALSE(HasCheck(Scan("tools/x.cc", snippet), "no-cout"));
+  EXPECT_FALSE(HasCheck(Scan("bench/x.cc", snippet), "no-cout"));
+}
+
+TEST(TodoCheckTest, RequiresIssueReference) {
+  EXPECT_TRUE(HasCheck(Scan("src/a.cc", "// TODO: make this faster\n"),
+                       "todo-issue"));
+  EXPECT_FALSE(HasCheck(Scan("src/a.cc", "// TODO(#42): make this faster\n"),
+                        "todo-issue"));
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+TEST(SuppressionTest, SameLineMarkerSuppressesAndIsCounted) {
+  ScanStats stats;
+  const auto findings = Scan(
+      "src/core/x.cc",
+      "int f() { return std::rand(); }  "
+      "// wym-lint: allow(no-rand): deliberate for this test\n",
+      &stats);
+  EXPECT_FALSE(HasCheck(findings, "no-rand"));
+  EXPECT_FALSE(HasCheck(findings, "lint-suppression"));
+  EXPECT_EQ(stats.suppressions_honored, 1);
+}
+
+TEST(SuppressionTest, PrecedingLineMarkerCoversNextLine) {
+  const auto findings = Scan(
+      "src/core/x.cc",
+      "// wym-lint: allow(no-rand): deliberate for this test\n"
+      "int f() { return std::rand(); }\n");
+  EXPECT_FALSE(HasCheck(findings, "no-rand"));
+  EXPECT_FALSE(HasCheck(findings, "lint-suppression"));
+}
+
+TEST(SuppressionTest, DoesNotReachPastTheNextLine) {
+  const auto findings = Scan(
+      "src/core/x.cc",
+      "// wym-lint: allow(no-rand): too far away\n"
+      "int a;\n"
+      "int f() { return std::rand(); }\n");
+  EXPECT_TRUE(HasCheck(findings, "no-rand"));
+  // And the marker is now stale, which is itself a finding.
+  EXPECT_TRUE(HasCheck(findings, "lint-suppression"));
+}
+
+TEST(SuppressionTest, WrongCheckNameDoesNotSuppress) {
+  const auto findings = Scan(
+      "src/core/x.cc",
+      "int f() { return std::rand(); }  "
+      "// wym-lint: allow(no-cout): wrong check\n");
+  EXPECT_TRUE(HasCheck(findings, "no-rand"));
+}
+
+TEST(SuppressionTest, UnknownCheckAndMissingReasonAreFindings) {
+  EXPECT_TRUE(HasCheck(
+      Scan("src/a.cc", "// wym-lint: allow(not-a-check): whatever\n"),
+      "lint-suppression"));
+  EXPECT_TRUE(HasCheck(
+      Scan("src/core/x.cc",
+           "int f() { return std::rand(); }  // wym-lint: allow(no-rand)\n"),
+      "lint-suppression"));
+}
+
+TEST(SuppressionTest, MarkerInsideStringLiteralIsInert) {
+  const auto findings = Scan(
+      "src/a.cc", "auto s = \"// wym-lint: allow(no-rand): nope\";\n");
+  EXPECT_FALSE(HasCheck(findings, "lint-suppression"));
+}
+
+// ---------------------------------------------------------------------
+// API surface
+// ---------------------------------------------------------------------
+
+TEST(FormatFindingTest, MatchesTheDocumentedContract) {
+  const Finding f{"src/a.cc", 7, "no-rand", "message text"};
+  EXPECT_EQ(FormatFinding(f), "src/a.cc:7: [no-rand] message text");
+}
+
+TEST(CheckCatalogTest, KnownChecksAreStableAndQueryable) {
+  EXPECT_TRUE(IsKnownCheck("no-rand"));
+  EXPECT_TRUE(IsKnownCheck("lint-suppression"));
+  EXPECT_FALSE(IsKnownCheck("definitely-not-a-check"));
+  EXPECT_GE(AllCheckNames().size(), 12u);
+}
+
+TEST(ScanSourceTest, FindingsAreSortedByLine) {
+  const auto findings = Scan(
+      "src/core/x.cc",
+      "int* p = new int;\n"
+      "int f() { return std::rand(); }\n"
+      "void g() { std::cout << 1; }\n");
+  ASSERT_GE(findings.size(), 3u);
+  for (size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_LE(findings[i - 1].line, findings[i].line);
+  }
+}
+
+}  // namespace
+}  // namespace wym::lint

@@ -1,0 +1,75 @@
+// Death tests for the always-on WYM_CHECK tier: the abort message must
+// carry file:line plus the stringified condition (that text is the whole
+// debugging story for a release-build abort), streamed context must be
+// appended, and operands must be evaluated exactly once whether the
+// check passes or fails.
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace {
+
+int Identity(int value, int* evaluations) {
+  ++*evaluations;
+  return value;
+}
+
+TEST(WymCheckDeathTest, AbortsWithFileLineAndCondition) {
+  EXPECT_DEATH(WYM_CHECK(1 == 2),
+               "WYM_CHECK failed at .*logging_test.cc:[0-9]+: 1 == 2");
+}
+
+TEST(WymCheckDeathTest, StreamedContextIsAppended) {
+  EXPECT_DEATH(WYM_CHECK(false) << "while frobbing" << 42,
+               "false while frobbing 42");
+}
+
+TEST(WymCheckOpDeathTest, AbortsWithOperandExpressionText) {
+  const int lhs = 3;
+  const int rhs = 4;
+  EXPECT_DEATH(WYM_CHECK_EQ(lhs, rhs),
+               "WYM_CHECK failed at .*logging_test.cc:[0-9]+: lhs == rhs");
+  EXPECT_DEATH(WYM_CHECK_GT(lhs, rhs), "lhs > rhs");
+}
+
+TEST(WymCheckTest, PassingCheckEvaluatesOperandsExactlyOnce) {
+  int evaluations = 0;
+  WYM_CHECK(Identity(1, &evaluations) == 1);
+  EXPECT_EQ(evaluations, 1);
+
+  evaluations = 0;
+  WYM_CHECK_EQ(Identity(7, &evaluations), 7);
+  EXPECT_EQ(evaluations, 1);
+
+  evaluations = 0;
+  WYM_CHECK_LE(Identity(1, &evaluations), Identity(2, &evaluations));
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(WymCheckOpDeathTest, FailingCheckEvaluatesOperandsExactlyOnce) {
+  // The streamed context runs after the condition, so the counter value
+  // it prints is the evaluation count at failure time.
+  EXPECT_DEATH(
+      {
+        int evaluations = 0;
+        WYM_CHECK_EQ(Identity(1, &evaluations), 2)
+            << "evaluations=" << evaluations;
+      },
+      "evaluations= 1");
+}
+
+TEST(WymCheckTest, PassingChecksHaveNoSideEffectsOnControlFlow) {
+  // A passing check must be a complete statement: usable bare inside an
+  // if/else ladder without swallowing the else.
+  int taken = 0;
+  if (true) {
+    WYM_CHECK(true);
+    taken = 1;
+  } else {
+    taken = 2;
+  }
+  EXPECT_EQ(taken, 1);
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -139,28 +140,26 @@ TEST(ParallelForTest, ChunkStructureIndependentOfThreadCount) {
 class BatchDeterminismTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dataset_ = new data::Dataset(data::GenerateById("S-FZ", 42, 0.25));
-    split_ = new data::Split(data::DefaultSplit(*dataset_, 42));
-    model_ = new core::WymModel();
+    dataset_ =
+        std::make_unique<data::Dataset>(data::GenerateById("S-FZ", 42, 0.25));
+    split_ = std::make_unique<data::Split>(data::DefaultSplit(*dataset_, 42));
+    model_ = std::make_unique<core::WymModel>();
     model_->Fit(split_->train, split_->validation);
   }
   static void TearDownTestSuite() {
-    delete model_;
-    delete split_;
-    delete dataset_;
-    model_ = nullptr;
-    split_ = nullptr;
-    dataset_ = nullptr;
+    model_.reset();
+    split_.reset();
+    dataset_.reset();
   }
 
-  static data::Dataset* dataset_;
-  static data::Split* split_;
-  static core::WymModel* model_;
+  static std::unique_ptr<data::Dataset> dataset_;
+  static std::unique_ptr<data::Split> split_;
+  static std::unique_ptr<core::WymModel> model_;
 };
 
-data::Dataset* BatchDeterminismTest::dataset_ = nullptr;
-data::Split* BatchDeterminismTest::split_ = nullptr;
-core::WymModel* BatchDeterminismTest::model_ = nullptr;
+std::unique_ptr<data::Dataset> BatchDeterminismTest::dataset_;
+std::unique_ptr<data::Split> BatchDeterminismTest::split_;
+std::unique_ptr<core::WymModel> BatchDeterminismTest::model_;
 
 TEST_F(BatchDeterminismTest, PredictProbaBatchBitIdenticalAcrossThreadCounts) {
   util::ThreadPool one(1), eight(8);

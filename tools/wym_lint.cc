@@ -1,0 +1,111 @@
+// wym_lint: the project's static analyzer (see DESIGN.md "Correctness
+// tooling").
+//
+//   wym_lint <repo-root>          scan src/ tools/ tests/ bench/ under root
+//   wym_lint --files <f> [f...]   scan explicit files (paths kept verbatim)
+//   wym_lint --list-checks        print the check catalog
+//
+// Prints one `file:line: [check-name] message` per unsuppressed finding
+// and exits nonzero when any exist. ctest runs this over the full tree,
+// so a banned pattern fails the build gate, not a code review.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/source_scan.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Forward-slashed path of `path` relative to `root` (or verbatim when it
+// is not under root). Check scoping keys off this.
+std::string RelativePath(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  return (ec || rel.empty()) ? path.generic_string() : rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  if (!args.empty() && args[0] == "--list-checks") {
+    for (const std::string& name : wym::lint::AllCheckNames()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+
+  fs::path root = fs::current_path();
+  std::vector<fs::path> files;
+  if (!args.empty() && args[0] == "--files") {
+    for (size_t i = 1; i < args.size(); ++i) files.emplace_back(args[i]);
+  } else {
+    if (!args.empty()) root = args[0];
+    if (!fs::is_directory(root)) {
+      std::cerr << "wym-lint: not a directory: " << root << "\n";
+      return 2;
+    }
+    for (const char* dir : {"src", "tools", "tests", "bench"}) {
+      const fs::path sub = root / dir;
+      if (!fs::is_directory(sub)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(sub)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    }
+  }
+  // Directory iteration order is filesystem-dependent; the lint output
+  // itself must be deterministic.
+  std::sort(files.begin(), files.end());
+
+  int finding_count = 0;
+  int file_count = 0;
+  wym::lint::ScanStats stats;
+  for (const fs::path& file : files) {
+    std::string text;
+    if (!ReadFile(file, &text)) {
+      std::cerr << "wym-lint: cannot read " << file << "\n";
+      return 2;
+    }
+    ++file_count;
+    const std::string rel = RelativePath(file, root);
+    for (const wym::lint::Finding& finding :
+         wym::lint::ScanSource(rel, text, &stats)) {
+      std::cout << wym::lint::FormatFinding(finding) << "\n";
+      ++finding_count;
+    }
+  }
+
+  if (finding_count > 0) {
+    std::cout << "wym-lint: " << finding_count << " finding(s) in "
+              << file_count << " file(s), " << stats.suppressions_honored
+              << " suppression(s) honored\n";
+    return 1;
+  }
+  std::cout << "wym-lint: clean (" << file_count << " files, "
+            << stats.suppressions_honored << " suppressions honored)\n";
+  return 0;
+}
