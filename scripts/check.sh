@@ -4,7 +4,8 @@
 # configuration fails. Run from the repo root:
 #
 #   sh scripts/check.sh              # all configurations
-#   sh scripts/check.sh release      # just one (release|ubsan|debug-checks)
+#   sh scripts/check.sh release      # just one
+#                                    # (release|ubsan|asan-ubsan|debug-checks)
 #
 # Build trees land in build-check-<name>/ so they never disturb an
 # existing build/ directory. Set JOBS to cap build parallelism.
@@ -45,6 +46,10 @@ run_config() {
 run_config release
 # UBSan: -fno-sanitize-recover=all makes any UB finding a test failure.
 run_config ubsan -DWYM_SANITIZE=undefined
+# ASan+UBSan: the fault-injection sweep (truncated/bit-flipped model
+# files, mid-write failures) must stay memory-clean, not merely return
+# the right Status.
+run_config asan-ubsan -DWYM_SANITIZE=address,undefined
 # Debug invariant tier: WYM_DCHECK bounds/dimension/NaN checks live.
 run_config debug-checks -DWYM_DEBUG_CHECKS=ON
 

@@ -2,11 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <iostream>
+#include <sstream>
 
+#include "util/framed_file.h"
+#include "util/io.h"
 #include "util/logging.h"
 
 namespace wym::core {
+
+namespace {
+
+/// Model-file format v2 container identity (util/framed_file.h).
+constexpr char kModelMagic[] = "WYM2";
+constexpr uint32_t kModelFormatVersion = 1;
+
+/// Section names of the v2 container, in write order.
+constexpr char kSectionConfig[] = "config";
+constexpr char kSectionEncoder[] = "encoder";
+constexpr char kSectionScorer[] = "scorer";
+constexpr char kSectionMatcher[] = "matcher";
+
+/// Serialized prefix of a legacy (format v1) model stream: the
+/// length-prefixed "wym-model/v1" tag the old SaveToFile wrote first.
+constexpr char kLegacyPrefix[] = "12 wym-model/v1";
+
+const std::string* FindFrame(const std::vector<io::FileFrame>& frames,
+                             const char* name) {
+  for (const io::FileFrame& frame : frames) {
+    if (frame.name == name) return &frame.payload;
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 std::vector<size_t> Explanation::RankByImpactMagnitude() const {
   std::vector<size_t> order(units.size());
@@ -197,33 +226,94 @@ Explanation WymModel::Explain(const data::EmRecord& record) const {
   return out;
 }
 
+namespace {
+
+/// Reason a record cannot be predicted, or empty. Zero tokens on both
+/// sides would trip the relevance scorer's at-least-one-entity contract
+/// (an abort) — the batch paths quarantine such records instead.
+std::string DegenerateReason(const TokenizedRecord& tokenized) {
+  if (tokenized.left.tokens.empty() && tokenized.right.tokens.empty()) {
+    return "zero tokens on both sides after tokenization";
+  }
+  return "";
+}
+
+/// Compacts per-index quarantine reasons (collected in parallel, by
+/// index, so the result is deterministic) into the report.
+void FillReport(const std::vector<std::string>& reasons,
+                PredictionReport* report) {
+  if (report == nullptr) return;
+  *report = PredictionReport{};
+  for (size_t i = 0; i < reasons.size(); ++i) {
+    if (reasons[i].empty()) {
+      ++report->predicted;
+    } else {
+      report->quarantined.push_back({i, reasons[i]});
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<double> WymModel::PredictProbaBatch(const data::Dataset& dataset,
+                                                util::ThreadPool* pool) const {
+  return PredictProbaBatch(dataset, nullptr, pool);
+}
+
+std::vector<double> WymModel::PredictProbaBatch(const data::Dataset& dataset,
+                                                PredictionReport* report,
                                                 util::ThreadPool* pool) const {
   WYM_CHECK(fitted_) << "WymModel used before Fit";
   std::vector<double> out(dataset.size());
+  std::vector<std::string> reasons(dataset.size());
   util::ParallelFor(
       dataset.size(), /*grain=*/1,
       [&](size_t begin, size_t end, size_t) {
         for (size_t i = begin; i < end; ++i) {
-          out[i] = PredictProba(dataset.records[i]);
+          const TokenizedRecord tokenized = Prepare(dataset.records[i]);
+          reasons[i] = DegenerateReason(tokenized);
+          if (!reasons[i].empty()) {
+            out[i] = 0.0;  // Non-match fallback; reported, never NaN.
+            continue;
+          }
+          out[i] = PredictProbaFromUnits(BuildScoredUnits(tokenized));
+          if (!std::isfinite(out[i])) {
+            reasons[i] = "non-finite match probability";
+            out[i] = 0.0;
+          }
         }
       },
       pool);
+  FillReport(reasons, report);
   return out;
 }
 
 std::vector<Explanation> WymModel::ExplainBatch(const data::Dataset& dataset,
                                                 util::ThreadPool* pool) const {
+  return ExplainBatch(dataset, nullptr, pool);
+}
+
+std::vector<Explanation> WymModel::ExplainBatch(const data::Dataset& dataset,
+                                                PredictionReport* report,
+                                                util::ThreadPool* pool) const {
   WYM_CHECK(fitted_) << "WymModel used before Fit";
   std::vector<Explanation> out(dataset.size());
+  std::vector<std::string> reasons(dataset.size());
   util::ParallelFor(
       dataset.size(), /*grain=*/1,
       [&](size_t begin, size_t end, size_t) {
         for (size_t i = begin; i < end; ++i) {
+          const TokenizedRecord tokenized = Prepare(dataset.records[i]);
+          reasons[i] = DegenerateReason(tokenized);
+          if (!reasons[i].empty()) {
+            out[i] = Explanation{};  // Empty: prediction 0, no units.
+            continue;
+          }
           out[i] = Explain(dataset.records[i]);
         }
       },
       pool);
+  FillReport(reasons, report);
   return out;
 }
 
@@ -236,75 +326,222 @@ std::vector<int> WymModel::PredictDataset(const data::Dataset& dataset) const {
   return out;
 }
 
-Status WymModel::SaveToFile(const std::string& path) const {
-  if (!fitted_) {
-    return Status::FailedPrecondition("cannot save an unfitted WymModel");
-  }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  serde::Serializer s(&out);
-  s.Tag("wym-model/v1");
-  // Config scalars needed to rebuild the stateless components.
-  s.Bool(config_.tokenizer.lowercase);
-  s.Bool(config_.tokenizer.remove_stopwords);
-  s.U64(config_.tokenizer.min_token_length);
-  s.F64(config_.generator.theta);
-  s.F64(config_.generator.eta);
-  s.F64(config_.generator.epsilon);
-  s.U64(static_cast<uint64_t>(config_.generator.similarity));
-  s.U64(config_.generator.rules.size());  // Informational only.
-  s.Bool(config_.simplified_features);
-  s.Str(config_.classifier);
-  s.U64(num_attributes_);
-  // Fitted components.
-  encoder_.Save(&s);
-  scorer_.Save(&s);
-  matcher_.Save(&s);
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+namespace {
+
+/// Serializes the config scalars needed to rebuild the stateless
+/// components (shared by the v1 stream and the v2 "config" section).
+void WriteConfigFields(serde::Serializer* s, const WymConfig& config,
+                       size_t num_attributes) {
+  s->Bool(config.tokenizer.lowercase);
+  s->Bool(config.tokenizer.remove_stopwords);
+  s->U64(config.tokenizer.min_token_length);
+  s->F64(config.generator.theta);
+  s->F64(config.generator.eta);
+  s->F64(config.generator.epsilon);
+  s->U64(static_cast<uint64_t>(config.generator.similarity));
+  s->U64(config.generator.rules.size());  // Informational only.
+  s->Bool(config.simplified_features);
+  s->Str(config.classifier);
+  s->U64(num_attributes);
 }
 
-Result<WymModel> WymModel::LoadFromFile(const std::string& path,
-                                        std::vector<PairingRule> rules) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  serde::Deserializer d(&in);
-  if (!d.Tag("wym-model/v1")) {
-    return Status::Corruption("not a WYM model file: " + path);
-  }
-  WymConfig config;
-  config.tokenizer.lowercase = d.Bool();
-  config.tokenizer.remove_stopwords = d.Bool();
-  config.tokenizer.min_token_length = d.U64();
-  config.generator.theta = d.F64();
-  config.generator.eta = d.F64();
-  config.generator.epsilon = d.F64();
-  config.generator.similarity = static_cast<PairingSimilarity>(d.U64());
-  const uint64_t rule_count = d.U64();
-  config.simplified_features = d.Bool();
-  config.classifier = d.Str();
-  if (!d.ok()) return Status::Corruption("truncated model header: " + path);
+/// Reads WriteConfigFields output. `rule_count` and `num_attributes`
+/// are returned separately (rules are code, not data).
+void ReadConfigFields(serde::Deserializer* d, WymConfig* config,
+                      uint64_t* rule_count, uint64_t* num_attributes) {
+  config->tokenizer.lowercase = d->Bool();
+  config->tokenizer.remove_stopwords = d->Bool();
+  config->tokenizer.min_token_length = d->U64();
+  config->generator.theta = d->F64();
+  config->generator.eta = d->F64();
+  config->generator.epsilon = d->F64();
+  config->generator.similarity = static_cast<PairingSimilarity>(d->U64());
+  *rule_count = d->U64();
+  config->simplified_features = d->Bool();
+  config->classifier = d->Str();
+  *num_attributes = d->U64();
+}
+
+Status CheckRuleCount(uint64_t rule_count,
+                      const std::vector<PairingRule>& rules) {
   if (rule_count != rules.size()) {
     return Status::InvalidArgument(
         "model was trained with " + std::to_string(rule_count) +
         " pairing rule(s); pass the same rules to LoadFromFile");
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WymModel::SaveToFile(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("cannot save an unfitted WymModel");
+  }
+  // One checksummed frame per pipeline component: damage localizes to a
+  // named section, and `wym_cli verify` can audit the file without
+  // deserializing any of it.
+  std::vector<io::FileFrame> frames;
+  const auto add_frame = [&frames](const char* name, auto&& write) {
+    std::ostringstream payload;
+    serde::Serializer s(&payload);
+    write(&s);
+    frames.push_back(io::FileFrame{name, payload.str()});
+  };
+  add_frame(kSectionConfig, [this](serde::Serializer* s) {
+    s->Tag("wym-config/v2");
+    WriteConfigFields(s, config_, num_attributes_);
+  });
+  add_frame(kSectionEncoder,
+            [this](serde::Serializer* s) { encoder_.Save(s); });
+  add_frame(kSectionScorer, [this](serde::Serializer* s) { scorer_.Save(s); });
+  add_frame(kSectionMatcher,
+            [this](serde::Serializer* s) { matcher_.Save(s); });
+  return io::WriteFileAtomic(
+             path, io::EncodeFramedFile(kModelMagic, kModelFormatVersion,
+                                        frames))
+      .Annotate("saving model to " + path);
+}
+
+Status WymModel::SaveToFileV1(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("cannot save an unfitted WymModel");
+  }
+  std::ostringstream out;
+  serde::Serializer s(&out);
+  s.Tag("wym-model/v1");
+  WriteConfigFields(&s, config_, num_attributes_);
+  encoder_.Save(&s);
+  scorer_.Save(&s);
+  matcher_.Save(&s);
+  return io::WriteFileAtomic(path, out.str())
+      .Annotate("saving legacy v1 model to " + path);
+}
+
+Result<WymModel> WymModel::LoadFromFile(const std::string& path,
+                                        std::vector<PairingRule> rules) {
+  std::string bytes;
+  const Status read = io::ReadFileToString(path, &bytes);
+  if (!read.ok()) return read.Annotate("loading model");
+
+  if (!io::LooksFramed(bytes, kModelMagic)) {
+    // Legacy format v1: a bare serde stream opening with the v1 tag.
+    if (bytes.compare(0, sizeof(kLegacyPrefix) - 1, kLegacyPrefix) != 0) {
+      return Status::Corruption("not a WYM model file: " + path);
+    }
+    std::cerr << "wym: note: " << path
+              << " is a legacy v1 model file (no integrity checksums); "
+                 "re-save with SaveToFile to upgrade to format v2\n";
+    std::istringstream in(bytes);
+    serde::Deserializer d(&in);
+    if (!d.Tag("wym-model/v1")) {
+      return Status::Corruption("not a WYM model file: " + path);
+    }
+    WymConfig config;
+    uint64_t rule_count = 0;
+    uint64_t num_attributes = 0;
+    ReadConfigFields(&d, &config, &rule_count, &num_attributes);
+    if (!d.ok()) return Status::Corruption("truncated model header: " + path);
+    WYM_RETURN_IF_ERROR(CheckRuleCount(rule_count, rules));
+    config.generator.rules = std::move(rules);
+    WymModel model(config);
+    model.num_attributes_ = num_attributes;
+    if (!model.encoder_.Load(&d)) {
+      return Status::Corruption("bad encoder state: " + path);
+    }
+    if (!model.scorer_.Load(&d)) {
+      return Status::Corruption("bad scorer state: " + path);
+    }
+    if (!model.matcher_.Load(&d)) {
+      return Status::Corruption("bad matcher state: " + path);
+    }
+    if (!d.ok()) return Status::Corruption("truncated model file: " + path);
+    model.fitted_ = true;
+    return model;
+  }
+
+  // Format v2: verify the container — structure, per-section CRCs,
+  // whole-file trailer — before deserializing anything.
+  std::vector<io::FileFrame> frames;
+  const Status decoded = io::DecodeFramedFile(
+      bytes, kModelMagic, kModelFormatVersion, nullptr, &frames);
+  if (!decoded.ok()) return decoded.Annotate("loading model " + path);
+
+  const auto section = [&frames,
+                        &path](const char* name) -> Result<const std::string*> {
+    const std::string* payload = FindFrame(frames, name);
+    if (payload == nullptr) {
+      return Status::Corruption("model file missing section '" +
+                                std::string(name) + "': " + path);
+    }
+    return payload;
+  };
+
+  auto config_bytes = section(kSectionConfig);
+  if (!config_bytes.ok()) return config_bytes.status();
+  std::istringstream config_in(*config_bytes.value());
+  serde::Deserializer config_reader(&config_in);
+  WymConfig config;
+  uint64_t rule_count = 0;
+  uint64_t num_attributes = 0;
+  if (!config_reader.Tag("wym-config/v2")) {
+    return Status::Corruption("bad config section tag: " + path);
+  }
+  ReadConfigFields(&config_reader, &config, &rule_count, &num_attributes);
+  if (!config_reader.ok()) {
+    return Status::Corruption("bad config section: " + path);
+  }
+  WYM_RETURN_IF_ERROR(CheckRuleCount(rule_count, rules));
   config.generator.rules = std::move(rules);
 
   WymModel model(config);
-  model.num_attributes_ = d.U64();
-  if (!model.encoder_.Load(&d)) {
-    return Status::Corruption("bad encoder state: " + path);
-  }
-  if (!model.scorer_.Load(&d)) {
-    return Status::Corruption("bad scorer state: " + path);
-  }
-  if (!model.matcher_.Load(&d)) {
-    return Status::Corruption("bad matcher state: " + path);
-  }
-  if (!d.ok()) return Status::Corruption("truncated model file: " + path);
+  model.num_attributes_ = num_attributes;
+  const auto load_component = [&path](const std::string& payload,
+                                      const char* name,
+                                      auto&& load) -> Status {
+    std::istringstream in(payload);
+    serde::Deserializer d(&in);
+    if (!load(&d) || !d.ok()) {
+      return Status::Corruption("bad " + std::string(name) +
+                                " state in section '" + name + "': " + path);
+    }
+    return Status::Ok();
+  };
+  auto payload = section(kSectionEncoder);
+  if (!payload.ok()) return payload.status();
+  WYM_RETURN_IF_ERROR(load_component(
+      *payload.value(), kSectionEncoder,
+      [&model](serde::Deserializer* d) { return model.encoder_.Load(d); }));
+  payload = section(kSectionScorer);
+  if (!payload.ok()) return payload.status();
+  WYM_RETURN_IF_ERROR(load_component(
+      *payload.value(), kSectionScorer,
+      [&model](serde::Deserializer* d) { return model.scorer_.Load(d); }));
+  payload = section(kSectionMatcher);
+  if (!payload.ok()) return payload.status();
+  WYM_RETURN_IF_ERROR(load_component(
+      *payload.value(), kSectionMatcher,
+      [&model](serde::Deserializer* d) { return model.matcher_.Load(d); }));
   model.fitted_ = true;
   return model;
+}
+
+Status WymModel::VerifyFile(const std::string& path, std::string* summary) {
+  std::string bytes;
+  WYM_RETURN_IF_ERROR(
+      io::ReadFileToString(path, &bytes).Annotate("verifying " + path));
+  if (!io::LooksFramed(bytes, kModelMagic)) {
+    if (bytes.compare(0, sizeof(kLegacyPrefix) - 1, kLegacyPrefix) == 0) {
+      if (summary != nullptr) {
+        *summary = "legacy v1 model file (" + std::to_string(bytes.size()) +
+                   " bytes): no integrity frames to verify; re-save to "
+                   "upgrade to format v2\n";
+      }
+      return Status::Ok();
+    }
+    return Status::Corruption("not a WYM model file: " + path);
+  }
+  return io::VerifyFramedFile(bytes, kModelMagic, summary).Annotate(path);
 }
 
 }  // namespace wym::core

@@ -72,6 +72,23 @@ struct ExplainedUnit {
   double impact = 0.0;
 };
 
+/// Per-run quarantine report of the batch prediction APIs. Degenerate
+/// records — zero tokens on both sides after tokenization, or a
+/// non-finite probability — are not predictable; instead of aborting or
+/// propagating NaNs, the batch paths give them the non-match fallback
+/// (probability 0.0, prediction 0) and list them here.
+struct PredictionReport {
+  struct Quarantined {
+    size_t index = 0;     ///< Record index within the dataset.
+    std::string reason;   ///< Why the record could not be predicted.
+  };
+  std::vector<Quarantined> quarantined;
+  /// Records that went through the full pipeline.
+  size_t predicted = 0;
+
+  bool clean() const { return quarantined.empty(); }
+};
+
 /// Prediction plus explanation for one record (paper §3.1: EX(r)).
 struct Explanation {
   int prediction = 0;
@@ -110,11 +127,21 @@ class WymModel : public Matcher {
   /// calls at every thread count — see DESIGN.md "Threading model".
 
   /// Matching probabilities for every record of `dataset`, in order.
+  /// Degenerate records are quarantined into `report` (when non-null)
+  /// with the non-match fallback probability 0.0 — the batch paths never
+  /// abort on bad records and never emit NaN.
   std::vector<double> PredictProbaBatch(const data::Dataset& dataset,
                                         util::ThreadPool* pool = nullptr) const;
+  std::vector<double> PredictProbaBatch(const data::Dataset& dataset,
+                                        PredictionReport* report,
+                                        util::ThreadPool* pool = nullptr) const;
 
-  /// Explanations for every record of `dataset`, in order.
+  /// Explanations for every record of `dataset`, in order. Quarantined
+  /// records yield an empty explanation (no units, probability 0.0).
   std::vector<Explanation> ExplainBatch(const data::Dataset& dataset,
+                                        util::ThreadPool* pool = nullptr) const;
+  std::vector<Explanation> ExplainBatch(const data::Dataset& dataset,
+                                        PredictionReport* report,
                                         util::ThreadPool* pool = nullptr) const;
 
   /// Hard predictions through the parallel batch path.
@@ -138,16 +165,36 @@ class WymModel : public Matcher {
   double PredictProbaFromUnits(const ScoredUnitSet& set) const;
 
   /// Persists the trained pipeline (encoder state, scorer network,
-  /// selected classifier, calibration). Custom pairing rules
-  /// (config().generator.rules) are code, not data: they are NOT
-  /// serialized and must be re-registered via LoadFromFile's config
-  /// parameter.
-  Status SaveToFile(const std::string& path) const;
+  /// selected classifier, calibration) in model-file format v2: a framed
+  /// container with a magic + format-version header, one
+  /// length-prefixed, CRC32C-checksummed section per component, and a
+  /// whole-file trailer (see DESIGN.md "Failure model & file-format
+  /// v2"). The write is atomic (temp file -> flush -> fsync -> rename),
+  /// so a crashed or out-of-space save never clobbers a previous good
+  /// model. Custom pairing rules (config().generator.rules) are code,
+  /// not data: they are NOT serialized and must be re-registered via
+  /// LoadFromFile's config parameter.
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
 
-  /// Restores a SaveToFile()d model. `rules` re-attaches the pairing
-  /// rules that were active at training time (empty = none).
+  /// Legacy format v1 writer (unframed serde stream, no checksums).
+  /// Kept only so the v1 -> v2 migration path stays testable; new code
+  /// must use SaveToFile.
+  [[nodiscard]] Status SaveToFileV1(const std::string& path) const;
+
+  /// Restores a SaveToFile()d model. Format v2 files are verified frame
+  /// by frame before any state is deserialized; damage yields
+  /// `Status::Corruption` naming the broken section. Legacy v1 files
+  /// still load (with a deprecation note on stderr). `rules` re-attaches
+  /// the pairing rules that were active at training time (empty = none).
   static Result<WymModel> LoadFromFile(
       const std::string& path, std::vector<PairingRule> rules = {});
+
+  /// Checks a model file's structure and every CRC without
+  /// deserializing any model state (the `wym_cli verify` backend).
+  /// `summary` (optional) receives a per-frame report. Legacy v1 files
+  /// verify vacuously (they carry no checksums) with a note to re-save.
+  [[nodiscard]] static Status VerifyFile(const std::string& path,
+                                         std::string* summary = nullptr);
 
   bool fitted() const { return fitted_; }
   const WymConfig& config() const { return config_; }

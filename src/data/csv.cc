@@ -1,8 +1,8 @@
 #include "data/csv.h"
 
-#include <fstream>
 #include <sstream>
 
+#include "util/io.h"
 #include "util/string_util.h"
 
 namespace wym::data {
@@ -22,11 +22,24 @@ std::string QuoteField(const std::string& field) {
   return out;
 }
 
-/// Splits one CSV line honoring quotes. Returns false on unbalanced quotes.
-bool ParseCsvLine(const std::string& line, std::vector<std::string>* fields) {
+/// Splits one CSV line honoring quotes. On failure returns false with a
+/// human-readable `reason` (unterminated quote, oversized field).
+bool ParseCsvLine(const std::string& line, size_t max_field_bytes,
+                  std::vector<std::string>* fields, std::string* reason) {
   fields->clear();
   std::string current;
   bool in_quotes = false;
+  auto flush = [&]() {
+    if (current.size() > max_field_bytes) {
+      *reason = "field " + std::to_string(fields->size() + 1) + " is " +
+                std::to_string(current.size()) + " bytes (limit " +
+                std::to_string(max_field_bytes) + ")";
+      return false;
+    }
+    fields->push_back(std::move(current));
+    current.clear();
+    return true;
+  };
   for (size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (in_quotes) {
@@ -43,17 +56,18 @@ bool ParseCsvLine(const std::string& line, std::vector<std::string>* fields) {
     } else if (c == '"') {
       in_quotes = true;
     } else if (c == ',') {
-      fields->push_back(std::move(current));
-      current.clear();
+      if (!flush()) return false;
     } else if (c == '\r') {
       // Tolerate CRLF.
     } else {
       current += c;
     }
   }
-  if (in_quotes) return false;
-  fields->push_back(std::move(current));
-  return true;
+  if (in_quotes) {
+    *reason = "unterminated quote";
+    return false;
+  }
+  return flush();
 }
 
 }  // namespace
@@ -82,23 +96,29 @@ std::string DatasetToCsv(const Dataset& dataset) {
 }
 
 Result<Dataset> DatasetFromCsv(const std::string& csv,
-                               const std::string& name) {
+                               const std::string& name,
+                               const CsvOptions& options, CsvReport* report) {
+  if (report != nullptr) *report = CsvReport{};
   std::istringstream in(csv);
   std::string line;
+  std::string reason;
   if (!std::getline(in, line)) {
-    return Status::InvalidArgument("empty CSV");
+    return Status::InvalidArgument("empty CSV: " + name);
   }
+  // Header damage is always fatal: without a trusted schema no row can
+  // be interpreted, so there is nothing sane to quarantine against.
   std::vector<std::string> header;
-  if (!ParseCsvLine(line, &header)) {
-    return Status::Corruption("unbalanced quotes in header");
+  if (!ParseCsvLine(line, options.max_field_bytes, &header, &reason)) {
+    return Status::Corruption(name + ":1: " + reason + " in header");
   }
   if (header.empty() || header[0] != "label") {
-    return Status::InvalidArgument("first CSV column must be 'label'");
+    return Status::InvalidArgument(name +
+                                   ":1: first CSV column must be 'label'");
   }
   const size_t pair_columns = header.size() - 1;
   if (pair_columns == 0 || pair_columns % 2 != 0) {
     return Status::InvalidArgument(
-        "CSV must have an equal number of left_/right_ columns");
+        name + ":1: CSV must have an equal number of left_/right_ columns");
   }
   const size_t width = pair_columns / 2;
 
@@ -110,56 +130,74 @@ Result<Dataset> DatasetFromCsv(const std::string& csv,
     if (!strings::StartsWith(left_name, "left_") ||
         !strings::StartsWith(right_name, "right_") ||
         left_name.substr(5) != right_name.substr(6)) {
-      return Status::InvalidArgument("misaligned left_/right_ columns at " +
+      return Status::InvalidArgument(name +
+                                     ":1: misaligned left_/right_ columns at " +
                                      left_name);
     }
     dataset.schema.attributes.push_back(left_name.substr(5));
   }
 
   size_t line_number = 1;
+  size_t rows_seen = 0;
+  size_t rows_quarantined = 0;
   std::vector<std::string> fields;
   while (std::getline(in, line)) {
     ++line_number;
-    if (line.empty()) continue;
-    if (!ParseCsvLine(line, &fields)) {
-      return Status::Corruption("unbalanced quotes at line " +
-                                std::to_string(line_number));
+    if (line.empty() || line == "\r") continue;
+    ++rows_seen;
+
+    reason.clear();
+    if (!ParseCsvLine(line, options.max_field_bytes, &fields, &reason)) {
+      // `reason` already set.
+    } else if (fields.size() != header.size()) {
+      reason = "row has " + std::to_string(fields.size()) +
+               " field(s), expected " + std::to_string(header.size());
+    } else if (fields[0] != "0" && fields[0] != "1") {
+      reason = "label must be 0/1, got '" + fields[0] + "'";
     }
-    if (fields.size() != header.size()) {
-      return Status::Corruption("wrong field count at line " +
-                                std::to_string(line_number));
+
+    if (!reason.empty()) {
+      if (!options.quarantine) {
+        return Status::Corruption(name + ":" + std::to_string(line_number) +
+                                  ": " + reason);
+      }
+      ++rows_quarantined;
+      if (report != nullptr) {
+        ++report->rows_quarantined;
+        if (report->errors.size() < CsvReport::kMaxRecordedErrors) {
+          report->errors.push_back(CsvRowError{line_number, reason});
+        }
+      }
+      continue;
     }
+
     EmRecord record;
-    if (fields[0] == "1") {
-      record.label = 1;
-    } else if (fields[0] == "0") {
-      record.label = 0;
-    } else {
-      return Status::Corruption("label must be 0/1 at line " +
-                                std::to_string(line_number));
-    }
+    record.label = fields[0] == "1" ? 1 : 0;
     record.left.values.assign(fields.begin() + 1, fields.begin() + 1 + width);
     record.right.values.assign(fields.begin() + 1 + width, fields.end());
     dataset.records.push_back(std::move(record));
+    if (report != nullptr) ++report->rows_ok;
+  }
+  if (rows_seen > 0 && rows_quarantined == rows_seen) {
+    return Status::Corruption(name + ": all " + std::to_string(rows_seen) +
+                              " row(s) malformed; refusing to return an "
+                              "empty dataset from a damaged file");
   }
   return dataset;
 }
 
 Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << DatasetToCsv(dataset);
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return io::WriteFileAtomic(path, DatasetToCsv(dataset))
+      .Annotate("writing dataset CSV");
 }
 
 Result<Dataset> ReadDatasetCsv(const std::string& path,
-                               const std::string& name) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DatasetFromCsv(buffer.str(), name);
+                               const std::string& name,
+                               const CsvOptions& options, CsvReport* report) {
+  std::string bytes;
+  const Status read = io::ReadFileToString(path, &bytes);
+  if (!read.ok()) return read.Annotate("reading dataset CSV");
+  return DatasetFromCsv(bytes, name, options, report);
 }
 
 }  // namespace wym::data

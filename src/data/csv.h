@@ -1,7 +1,9 @@
 #ifndef WYM_DATA_CSV_H_
 #define WYM_DATA_CSV_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "data/record.h"
 #include "util/status.h"
@@ -11,21 +13,63 @@
 /// `label,left_<attr1>,...,left_<attrM>,right_<attr1>,...,right_<attrM>`
 /// with RFC-4180 quoting. Lets users run the pipeline on their own data
 /// and lets the benches cache generated datasets.
+///
+/// Ingestion is hardened (see DESIGN.md "Failure model & file-format
+/// v2"): every malformed row — ragged arity, unterminated quote,
+/// oversized field, bad label — is reported as a `Status` carrying
+/// `<name>:<line>`, and a quarantine mode skips and counts bad rows
+/// instead of failing the whole file. File reads go through
+/// `io::ReadFileToString`, so the fault-injection seam covers the CSV
+/// reader too.
 
 namespace wym::data {
+
+/// Ingestion policy.
+struct CsvOptions {
+  /// Strict (false): the first malformed row fails the parse with a
+  /// `<name>:<line>` Status. Quarantine (true): malformed rows are
+  /// skipped and counted in the CsvReport; the parse fails only on a
+  /// malformed header or when *every* row is bad.
+  bool quarantine = false;
+  /// A field longer than this is malformed (guards against unterminated
+  /// quotes swallowing megabytes and against memory-hostile inputs).
+  size_t max_field_bytes = 1 << 20;
+};
+
+/// One quarantined row.
+struct CsvRowError {
+  size_t line = 0;      ///< 1-based line number in the file.
+  std::string reason;   ///< e.g. "row has 4 fields, expected 5".
+};
+
+/// Per-run ingestion report (quarantine bookkeeping).
+struct CsvReport {
+  size_t rows_ok = 0;
+  size_t rows_quarantined = 0;
+  /// First `kMaxRecordedErrors` quarantined rows, in file order.
+  std::vector<CsvRowError> errors;
+
+  static constexpr size_t kMaxRecordedErrors = 32;
+};
 
 /// Serializes a dataset (header + one row per record).
 std::string DatasetToCsv(const Dataset& dataset);
 
-/// Parses DatasetToCsv output. The dataset name is taken from `name`.
-/// Fails with InvalidArgument/Corruption on malformed headers or rows.
+/// Parses DatasetToCsv output. The dataset name is taken from `name`
+/// and prefixes every row diagnostic as `<name>:<line>`. `report`
+/// (optional) receives the ingestion counts in both modes.
 Result<Dataset> DatasetFromCsv(const std::string& csv,
-                               const std::string& name);
+                               const std::string& name,
+                               const CsvOptions& options = {},
+                               CsvReport* report = nullptr);
 
 /// File round-trip helpers.
-Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status WriteDatasetCsv(const Dataset& dataset,
+                                     const std::string& path);
 Result<Dataset> ReadDatasetCsv(const std::string& path,
-                               const std::string& name);
+                               const std::string& name,
+                               const CsvOptions& options = {},
+                               CsvReport* report = nullptr);
 
 }  // namespace wym::data
 

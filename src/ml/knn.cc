@@ -74,7 +74,9 @@ bool KNearestNeighbors::LoadState(serde::Deserializer* d) {
   const std::vector<uint64_t> labels = d->VecU64();
   train_y_.assign(labels.begin(), labels.end());
   importance_ = d->VecF64();
-  return d->ok() && train_y_.size() == train_x_.rows();
+  // k = 0 from a damaged stream would wrap `begin() + (k - 1)` in
+  // PredictProba's nth_element far past the end.
+  return d->ok() && options_.k >= 1 && train_y_.size() == train_x_.rows();
 }
 
 }  // namespace wym::ml

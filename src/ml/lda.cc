@@ -87,7 +87,12 @@ bool LinearDiscriminant::LoadState(serde::Deserializer* d) {
   if (!d->Tag("lda/v1")) return false;
   weights_ = d->VecF64();
   bias_ = d->F64();
-  return d->ok();
+  if (!d->ok() || !std::isfinite(bias_)) return false;
+  // A single non-finite weight would turn every prediction into NaN.
+  for (const double w : weights_) {
+    if (!std::isfinite(w)) return false;
+  }
+  return true;
 }
 
 }  // namespace wym::ml

@@ -98,7 +98,19 @@ bool GaussianNaiveBayes::LoadState(serde::Deserializer* d) {
     log_prior_[c] = d->F64();
   }
   importance_ = d->VecF64();
-  return d->ok() && mean_[0].size() == var_[0].size();
+  if (!d->ok() || mean_[0].size() != var_[0].size() ||
+      mean_[1].size() != mean_[0].size() ||
+      var_[1].size() != var_[0].size()) {
+    return false;
+  }
+  // Variances feed log() and a division: a zero/negative/non-finite one
+  // from a damaged stream would poison the likelihood with NaN.
+  for (int c = 0; c < 2; ++c) {
+    for (const double v : var_[c]) {
+      if (!std::isfinite(v) || v <= 0.0) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace wym::ml

@@ -73,7 +73,13 @@ bool StandardScaler::Load(serde::Deserializer* d) {
   fitted_ = d->Bool();
   mean_ = d->VecF64();
   scale_ = d->VecF64();
-  return d->ok() && mean_.size() == scale_.size();
+  if (!d->ok() || mean_.size() != scale_.size()) return false;
+  // Every scale entry is a divisor; Fit guarantees them positive, so a
+  // zero/negative/non-finite one can only come from a damaged stream.
+  for (const double s : scale_) {
+    if (!std::isfinite(s) || s <= 0.0) return false;
+  }
+  return true;
 }
 
 }  // namespace wym::ml

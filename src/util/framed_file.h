@@ -1,0 +1,70 @@
+#ifndef WYM_UTIL_FRAMED_FILE_H_
+#define WYM_UTIL_FRAMED_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// The framed container of model-file format v2 (see DESIGN.md "Failure
+/// model & file-format v2"): a magic + format-version header, named
+/// length-prefixed sections each closed by a CRC32C footer, and a
+/// whole-file trailer. Layout (all '\n'-terminated lines, payload
+/// arbitrary bytes):
+///
+///   <magic> <version>\n
+///   FRAME <name> <payload-bytes>\n
+///   <payload>\n
+///   CRC <8-hex crc32c of payload>\n
+///   ... more frames ...
+///   END <frame-count> <8-hex crc32c of every byte above this line>\n
+///
+/// Every byte of the file is covered by a checksum: payload bytes by
+/// their frame footer, and the header/frame/trailer structure itself by
+/// the whole-file trailer CRC. Any truncation or bit flip anywhere in
+/// the file therefore decodes to `Status::Corruption` (naming the
+/// damaged section when a frame footer catches it) — never to a
+/// successful load of damaged bytes. The fault-injection sweep in
+/// tests/fault_injection_test.cc asserts exactly that, exhaustively.
+///
+/// Decoding is allocation-bounded: every length field is validated
+/// against the bytes actually present before anything is resized.
+
+namespace wym::io {
+
+/// One named section.
+struct FileFrame {
+  std::string name;
+  std::string payload;
+};
+
+/// Renders a framed file (computes all CRCs).
+std::string EncodeFramedFile(const std::string& magic, uint32_t version,
+                             const std::vector<FileFrame>& frames);
+
+/// True when `bytes` begins with `magic` + ' ' — cheap format sniff for
+/// telling a v2 file from a legacy stream.
+bool LooksFramed(const std::string& bytes, const std::string& magic);
+
+/// Parses and fully verifies a framed file: structure, per-frame CRCs,
+/// trailer CRC, no trailing garbage. On any damage returns
+/// `Status::Corruption` naming the damaged section or structural
+/// element. `version` and `frames` may be nullptr (verify-only).
+[[nodiscard]] Status DecodeFramedFile(const std::string& bytes,
+                                      const std::string& magic,
+                                      uint32_t max_version, uint32_t* version,
+                                      std::vector<FileFrame>* frames);
+
+/// Verify-only decode that also renders a one-line-per-frame summary
+/// ("frame <name>: <bytes> bytes, crc <hex>") into `summary` (optional).
+/// This is what `wym_cli verify` prints — it checks every checksum
+/// without deserializing any model state.
+[[nodiscard]] Status VerifyFramedFile(const std::string& bytes,
+                                      const std::string& magic,
+                                      std::string* summary);
+
+}  // namespace wym::io
+
+#endif  // WYM_UTIL_FRAMED_FILE_H_

@@ -1,0 +1,171 @@
+#include "util/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace wym::io {
+
+namespace {
+
+bool IsWriteFault(Fault::Kind kind) {
+  return kind == Fault::Kind::kFailWriteAt || kind == Fault::Kind::kEnospc ||
+         kind == Fault::Kind::kCrashAt;
+}
+
+/// The per-thread fault plan (tests only; nullptr in production).
+thread_local FaultInjector* g_active_injector = nullptr;
+
+std::string Errno(const char* step, const std::string& path) {
+  return std::string(step) + " failed for " + path + ": " +
+         std::strerror(errno);
+}
+
+/// write(2) until done or error; returns bytes written.
+size_t WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return written;
+}
+
+}  // namespace
+
+const Fault* FaultInjector::NextWriteFault() const {
+  if (next_ < script_.size() && IsWriteFault(script_[next_].kind)) {
+    return &script_[next_];
+  }
+  return nullptr;
+}
+
+const Fault* FaultInjector::NextReadFault() const {
+  if (next_ < script_.size() && !IsWriteFault(script_[next_].kind)) {
+    return &script_[next_];
+  }
+  return nullptr;
+}
+
+void FaultInjector::Spend(const Fault* fault) {
+  if (fault == nullptr || next_ >= script_.size() ||
+      fault != &script_[next_]) {
+    return;
+  }
+  ++next_;
+  ++faults_fired_;
+}
+
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
+    : previous_(g_active_injector) {
+  g_active_injector = injector;
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  g_active_injector = previous_;
+}
+
+FaultInjector* ActiveFaultInjector() { return g_active_injector; }
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  // Stage in the same directory so the final rename cannot cross a
+  // filesystem boundary (rename is only atomic within one).
+  const std::string temp = path + ".tmp";
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", temp));
+
+  FaultInjector* injector = ActiveFaultInjector();
+  const Fault* fault = injector ? injector->NextWriteFault() : nullptr;
+  const size_t limit =
+      fault ? std::min<size_t>(data.size(), fault->offset) : data.size();
+
+  const size_t written = WriteAll(fd, data.data(), limit);
+  if (written < limit) {
+    const std::string message = Errno("write", temp);
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return Status::IoError(message);
+  }
+
+  if (fault != nullptr) {
+    injector->Spend(fault);
+    ::close(fd);
+    if (fault->kind == Fault::Kind::kCrashAt) {
+      // Simulated kill mid-save: the partial temp file stays on disk,
+      // no rename — the target must remain intact.
+      return Status::IoError("injected crash after " +
+                             std::to_string(limit) + " byte(s): " + temp);
+    }
+    ::unlink(temp.c_str());
+    if (fault->kind == Fault::Kind::kEnospc) {
+      return Status::IoError("no space left on device (injected) writing " +
+                             temp);
+    }
+    return Status::IoError("injected write failure at byte " +
+                           std::to_string(limit) + ": " + temp);
+  }
+
+  if (::fsync(fd) != 0) {
+    const std::string message = Errno("fsync", temp);
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return Status::IoError(message);
+  }
+  if (::close(fd) != 0) {
+    const std::string message = Errno("close", temp);
+    ::unlink(temp.c_str());
+    return Status::IoError(message);
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    const std::string message = Errno("rename", temp);
+    ::unlink(temp.c_str());
+    return Status::IoError(message);
+  }
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string message = Errno("read", path);
+      ::close(fd);
+      return Status::IoError(message);
+    }
+    if (n == 0) break;
+    out->append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  FaultInjector* injector = ActiveFaultInjector();
+  const Fault* fault = injector ? injector->NextReadFault() : nullptr;
+  if (fault != nullptr) {
+    injector->Spend(fault);
+    if (fault->kind == Fault::Kind::kShortRead) {
+      if (fault->offset < out->size()) {
+        out->resize(static_cast<size_t>(fault->offset));
+      }
+    } else if (fault->kind == Fault::Kind::kFlipBit) {
+      const size_t byte = static_cast<size_t>(fault->bit_index / 8);
+      if (byte < out->size()) {
+        (*out)[byte] = static_cast<char>(
+            (*out)[byte] ^ static_cast<char>(1u << (fault->bit_index % 8)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace wym::io

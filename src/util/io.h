@@ -1,0 +1,144 @@
+#ifndef WYM_UTIL_IO_H_
+#define WYM_UTIL_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Hardened file I/O for every durable artifact (model files, CSV
+/// catalogs), plus the deterministic fault-injection seam that the
+/// robustness suite drives (see DESIGN.md "Failure model & file-format
+/// v2").
+///
+/// Two guarantees:
+///   - Writes are atomic: `WriteFileAtomic` stages the bytes in a
+///     sibling temp file, flushes and fsyncs it, then `rename`s over the
+///     target. A crashed, ENOSPC'd or fault-injected save can never
+///     leave a half-written file under the target path — the previous
+///     version stays intact and loadable.
+///   - Failures are `Status`, never aborts: callers get IoError with the
+///     path and the failing step.
+///
+/// Fault injection: tests install a `FaultInjector` (via
+/// `ScopedFaultInjector`) that the read/write paths consult. Faults are
+/// scripted and deterministic — fail the write after byte N, simulate
+/// ENOSPC, crash before rename, truncate or bit-flip what a read
+/// returns, deliver a short read — so every failure path in the
+/// persistence stack is exercisable from a unit test without root,
+/// custom filesystems, or flaky timing.
+
+namespace wym::io {
+
+/// One scripted fault. Offsets are byte offsets into the file content.
+struct Fault {
+  enum class Kind {
+    /// Write path: the write fails with a generic I/O error once
+    /// `offset` bytes have been written to the temp file. The temp file
+    /// is cleaned up; the target is untouched.
+    kFailWriteAt,
+    /// Write path: like kFailWriteAt but reported as ENOSPC ("no space
+    /// left on device") — the classic full-disk save.
+    kEnospc,
+    /// Write path: the process "crashes" after `offset` bytes — the
+    /// partial temp file is left on disk and no rename happens. Models
+    /// the kill-9-mid-save scenario; the target must stay intact.
+    kCrashAt,
+    /// Read path: the read stops after `offset` bytes (torn/truncated
+    /// file as seen by the reader).
+    kShortRead,
+    /// Read path: bit `bit_index` (0 = LSB of byte 0) of the returned
+    /// buffer is flipped — silent media corruption.
+    kFlipBit,
+  };
+
+  Kind kind = Kind::kFailWriteAt;
+  /// Byte offset (write faults, kShortRead).
+  uint64_t offset = 0;
+  /// Absolute bit index (kFlipBit only).
+  uint64_t bit_index = 0;
+};
+
+/// A deterministic, scriptable fault plan. Each fault fires on the
+/// matching operation (write faults on the next write, read faults on
+/// the next read) and is then spent; operations beyond the script run
+/// clean. The injector records what fired for test assertions.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Appends a fault to the script (fluent, so tests read as a plan).
+  FaultInjector& FailWriteAt(uint64_t offset) {
+    return Add({Fault::Kind::kFailWriteAt, offset, 0});
+  }
+  FaultInjector& Enospc(uint64_t offset) {
+    return Add({Fault::Kind::kEnospc, offset, 0});
+  }
+  FaultInjector& CrashAt(uint64_t offset) {
+    return Add({Fault::Kind::kCrashAt, offset, 0});
+  }
+  FaultInjector& ShortRead(uint64_t offset) {
+    return Add({Fault::Kind::kShortRead, offset, 0});
+  }
+  FaultInjector& FlipBit(uint64_t bit_index) {
+    return Add({Fault::Kind::kFlipBit, 0, bit_index});
+  }
+  FaultInjector& Add(Fault fault) {
+    script_.push_back(fault);
+    return *this;
+  }
+
+  /// Number of faults that have fired so far.
+  int faults_fired() const { return faults_fired_; }
+
+  /// --- hooks called by the io functions (not by user code) ---
+
+  /// Next unfired write-path fault, or nullptr. `Spend` marks it fired.
+  const Fault* NextWriteFault() const;
+  /// Next unfired read-path fault, or nullptr.
+  const Fault* NextReadFault() const;
+  void Spend(const Fault* fault);
+
+ private:
+  std::vector<Fault> script_;
+  size_t next_ = 0;
+  int faults_fired_ = 0;
+};
+
+/// Installs `injector` as the active fault plan for the current thread
+/// for the lifetime of the scope; nesting restores the previous one.
+/// The seam sits under WriteFileAtomic / ReadFileToString, which is
+/// where the Serializer/Deserializer byte streams and the CSV reader
+/// meet the filesystem.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector);
+  ~ScopedFaultInjector();
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// The injector installed for this thread (nullptr = run clean).
+FaultInjector* ActiveFaultInjector();
+
+/// Atomically replaces `path` with `data`: temp file in the same
+/// directory -> write -> flush -> fsync -> rename(temp, path). On any
+/// failure the target is left exactly as it was. Consults the active
+/// FaultInjector.
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     const std::string& data);
+
+/// Reads a whole file into `out` (binary, NUL-safe). Consults the
+/// active FaultInjector (short reads / bit flips mutate `out`).
+[[nodiscard]] Status ReadFileToString(const std::string& path,
+                                      std::string* out);
+
+}  // namespace wym::io
+
+#endif  // WYM_UTIL_IO_H_

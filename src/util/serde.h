@@ -115,7 +115,13 @@ class Deserializer {
       ok_ = false;
       return "";
     }
-    in_.get();  // The separating space.
+    // The byte after the length must be the separating space the
+    // Serializer wrote. Consuming it blindly would let corrupt input
+    // (wrong separator, EOF) silently misalign every subsequent read.
+    if (in_.get() != ' ') {
+      ok_ = false;
+      return "";
+    }
     std::string value(length, '\0');
     if (length > 0 && !in_.read(value.data(), static_cast<long>(length))) {
       ok_ = false;

@@ -239,6 +239,7 @@ const std::vector<std::string>& AllCheckNames() {
       "simd-outside-kernels",
       "no-cout",
       "todo-issue",
+      "unchecked-status",
       "lint-suppression",
   };
   return kNames;
@@ -687,6 +688,137 @@ void CheckTodoIssue(const FileCtx& ctx, std::vector<Finding>* out) {
   }
 }
 
+/// unchecked-status: a call to a `Status`/`Result`-returning function
+/// used as a bare expression statement silently drops the error — the
+/// exact failure mode the Status discipline exists to prevent (and the
+/// runtime half of the `[[nodiscard]]` annotation on both types).
+///
+/// Lexical heuristic, belt and braces with the compiler warning:
+/// candidate functions are (a) a registry of the library's known
+/// Status/Result-returning entry points, plus (b) any function this
+/// file itself declares with a `Status`/`Result<...>` return type. A
+/// call is a finding when nothing but member/namespace qualifiers
+/// (`obj.`, `ptr->`, `ns::`) stands between the statement start and the
+/// call — assignments, `return`, macro wrappers and condition contexts
+/// all leave other tokens on the line and are not flagged.
+void CheckUncheckedStatus(const FileCtx& ctx, std::vector<Finding>* out) {
+  // (a) Library-wide Status/Result returners callable across TUs.
+  static const char* kRegistry[] = {
+      "SaveToFile",     "SaveToFileV1",     "LoadFromFile",
+      "VerifyFile",     "WriteDatasetCsv",  "ReadDatasetCsv",
+      "DatasetFromCsv", "WriteFileAtomic",  "ReadFileToString",
+      "DecodeFramedFile", "VerifyFramedFile", "Annotate",
+  };
+  std::vector<std::string> candidates(std::begin(kRegistry),
+                                      std::end(kRegistry));
+
+  // (b) Functions declared in this file with a Status/Result return
+  // type: `Status Foo(`, `wym::Status Foo(`, `Result<T> Foo(`.
+  for (const LexedLine& line : ctx.lines) {
+    const std::string& code = line.code;
+    for (const char* type_name : {"Status", "Result"}) {
+      size_t p = FindWord(code, type_name, 0);
+      while (p != std::string::npos) {
+        size_t e = p + std::char_traits<char>::length(type_name);
+        if (e < code.size() && code[e] == '<') {
+          // Skip the Result<...> template argument list.
+          int depth = 0;
+          while (e < code.size()) {
+            if (code[e] == '<') ++depth;
+            if (code[e] == '>' && --depth == 0) {
+              ++e;
+              break;
+            }
+            ++e;
+          }
+        }
+        while (e < code.size() && IsSpace(code[e])) ++e;
+        std::string name;
+        while (e < code.size() && IsIdentChar(code[e])) name += code[e++];
+        while (e < code.size() && IsSpace(code[e])) ++e;
+        if (!name.empty() && e < code.size() && code[e] == '(') {
+          candidates.push_back(name);
+        }
+        p = FindWord(code, type_name, p + 1);
+      }
+    }
+  }
+
+  // A call is bare when stripping trailing `ident.` / `ident->` /
+  // `ident::` qualifier tokens from the text before it empties the line.
+  const auto is_statement_start = [](const std::string& code, size_t p) {
+    size_t b = p;
+    while (true) {
+      while (b > 0 && IsSpace(code[b - 1])) --b;
+      size_t after_sep = b;
+      if (b >= 2 && code.compare(b - 2, 2, "::") == 0) {
+        after_sep = b - 2;
+      } else if (b >= 2 && code.compare(b - 2, 2, "->") == 0) {
+        after_sep = b - 2;
+      } else if (b >= 1 && code[b - 1] == '.') {
+        after_sep = b - 1;
+      } else {
+        break;
+      }
+      size_t ident_end = after_sep;
+      while (ident_end > 0 && IsSpace(code[ident_end - 1])) --ident_end;
+      size_t ident_begin = ident_end;
+      while (ident_begin > 0 && IsIdentChar(code[ident_begin - 1])) {
+        --ident_begin;
+      }
+      if (ident_begin == ident_end) {
+        // `.foo(` continuation of a multi-line expression, or a global
+        // `::` qualifier at the statement start.
+        b = after_sep;
+        break;
+      }
+      b = ident_begin;
+    }
+    while (b > 0 && IsSpace(code[b - 1])) --b;
+    return b == 0;
+  };
+
+  // A line can only begin a statement if the previous code line ended
+  // one (`;`, `{`, `}`). Otherwise it is a continuation of a larger —
+  // checked — expression (`const Status s =\n    WriteFileAtomic(...)`).
+  const auto begins_statement = [&ctx](size_t i) {
+    while (i > 0) {
+      --i;
+      if (ctx.lines[i].preprocessor) continue;
+      const std::string& prev = ctx.lines[i].code;
+      const size_t last = prev.find_last_not_of(" \t");
+      if (last == std::string::npos) continue;  // Blank / comment-only.
+      const char c = prev[last];
+      return c == ';' || c == '{' || c == '}';
+    }
+    return true;
+  };
+
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    if (ctx.lines[i].preprocessor) continue;
+    const std::string& code = ctx.lines[i].code;
+    for (const std::string& name : candidates) {
+      size_t p = FindWord(code, name);
+      bool emitted = false;
+      while (p != std::string::npos && !emitted) {
+        size_t e = p + name.size();
+        while (e < code.size() && IsSpace(code[e])) ++e;
+        if (e < code.size() && code[e] == '(' &&
+            is_statement_start(code, p) && begins_statement(i)) {
+          Emit(ctx, i, "unchecked-status",
+               "call to Status/Result-returning '" + name +
+                   "' as a bare statement drops the error; check it, "
+                   "propagate it, or WYM_RETURN_IF_ERROR it",
+               out);
+          emitted = true;
+        }
+        p = FindWord(code, name, p + 1);
+      }
+      if (emitted) break;
+    }
+  }
+}
+
 // --------------------------------------------------------------------------
 // Suppressions
 // --------------------------------------------------------------------------
@@ -770,6 +902,7 @@ std::vector<Finding> ScanSource(const std::string& path,
   CheckSimdOutsideKernels(ctx, &raw);
   CheckNoCout(ctx, &raw);
   CheckTodoIssue(ctx, &raw);
+  CheckUncheckedStatus(ctx, &raw);
 
   std::vector<Finding> findings;
 

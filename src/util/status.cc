@@ -24,6 +24,12 @@ const char* CodeName(Status::Code code) {
 
 }  // namespace
 
+Status Status::Annotate(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code_, message_.empty() ? context
+                                        : context + ": " + message_);
+}
+
 std::string Status::ToString() const {
   if (ok()) return "Ok";
   std::string out = CodeName(code_);

@@ -14,7 +14,10 @@
 namespace wym {
 
 /// Outcome of a fallible operation. Cheap to copy when OK.
-class Status {
+/// `[[nodiscard]]`: silently dropping a returned Status is exactly the
+/// failure mode this type exists to prevent (see also the wym-lint
+/// `unchecked-status` check).
+class [[nodiscard]] Status {
  public:
   /// Error taxonomy; kOk means success.
   enum class Code {
@@ -54,6 +57,11 @@ class Status {
   /// Human-readable rendering, e.g. "IoError: no such file".
   std::string ToString() const;
 
+  /// Error-chaining: returns this Status with `context` prepended to the
+  /// message ("loading model: read failed ..."); OK stays OK. Lets each
+  /// layer add what it was doing without losing the root cause or code.
+  Status Annotate(const std::string& context) const;
+
  private:
   Status(Code code, std::string message)
       : code_(code), message_(std::move(message)) {}
@@ -65,7 +73,7 @@ class Status {
 /// Either a value of type T or an error Status. Accessing the value of a
 /// failed Result is a checked programming error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from Status, so functions can
   /// `return value;` or `return Status::IoError(...);`.
@@ -89,6 +97,12 @@ class Result {
   T&& value() && {
     WYM_CHECK(ok()) << status_.ToString();
     return std::move(value_);
+  }
+
+  /// The value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? value_ : std::move(fallback); }
+  T value_or(T fallback) && {
+    return ok() ? std::move(value_) : std::move(fallback);
   }
 
  private:

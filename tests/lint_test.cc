@@ -313,6 +313,86 @@ TEST(TodoCheckTest, RequiresIssueReference) {
                         "todo-issue"));
 }
 
+TEST(UncheckedStatusTest, BareRegistryCallIsFlagged) {
+  EXPECT_TRUE(HasCheck(
+      Scan("src/core/x.cc", "void f() {\n  model.SaveToFile(path);\n}\n"),
+      "unchecked-status"));
+  EXPECT_TRUE(HasCheck(
+      Scan("tools/x.cc",
+           "void f() {\n  data::WriteDatasetCsv(ds, path);\n}\n"),
+      "unchecked-status"));
+  EXPECT_TRUE(HasCheck(
+      Scan("src/a.cc",
+           "void f() {\n  io::WriteFileAtomic(path, bytes);\n}\n"),
+      "unchecked-status"));
+}
+
+TEST(UncheckedStatusTest, CheckedCallsAreNotFlagged) {
+  const std::string snippet =
+      "void f() {\n"
+      "  const Status s = model.SaveToFile(path);\n"
+      "  if (!data::WriteDatasetCsv(ds, path).ok()) return;\n"
+      "  return io::WriteFileAtomic(path, bytes);\n"
+      "  WYM_RETURN_IF_ERROR(model.SaveToFile(path));\n"
+      "}\n";
+  EXPECT_FALSE(HasCheck(Scan("src/core/x.cc", snippet), "unchecked-status"));
+}
+
+TEST(UncheckedStatusTest, FileLocalStatusFunctionIsDiscovered) {
+  EXPECT_TRUE(HasCheck(
+      Scan("src/core/x.cc",
+           "Status DoThing(int n);\n"
+           "void f() {\n  DoThing(3);\n}\n"),
+      "unchecked-status"));
+  EXPECT_TRUE(HasCheck(
+      Scan("src/core/x.cc",
+           "Result<int> Parse(const std::string& s);\n"
+           "void f() {\n  Parse(text);\n}\n"),
+      "unchecked-status"));
+  // Functions with non-Status returns are not candidates.
+  EXPECT_FALSE(HasCheck(
+      Scan("src/core/x.cc",
+           "int DoThing(int n);\n"
+           "void f() {\n  DoThing(3);\n}\n"),
+      "unchecked-status"));
+}
+
+TEST(UncheckedStatusTest, ContinuationLinesAreNotStatementStarts) {
+  // The call begins a line but continues the assignment above it.
+  EXPECT_FALSE(HasCheck(
+      Scan("src/core/x.cc",
+           "void f() {\n"
+           "  const Status s =\n"
+           "      io::WriteFileAtomic(path, bytes);\n"
+           "}\n"),
+      "unchecked-status"));
+}
+
+TEST(UncheckedStatusTest, DeclarationsAreNotCallSites) {
+  EXPECT_FALSE(HasCheck(
+      Scan("src/core/x.h",
+           "class M {\n"
+           "  Status SaveToFile(const std::string& path) const;\n"
+           "};\n"),
+      "unchecked-status"));
+  EXPECT_FALSE(HasCheck(
+      Scan("src/util/status.cc",
+           "Status Status::Annotate(const std::string& c) const {\n"
+           "  return *this;\n"
+           "}\n"),
+      "unchecked-status"));
+}
+
+TEST(UncheckedStatusTest, SuppressionWorks) {
+  EXPECT_FALSE(HasCheck(
+      Scan("src/core/x.cc",
+           "void f() {\n"
+           "  model.SaveToFile(path);  "
+           "// wym-lint: allow(unchecked-status): best-effort cache save\n"
+           "}\n"),
+      "unchecked-status"));
+}
+
 // ---------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------

@@ -67,6 +67,31 @@ TEST(SerdeTest, AbsurdVectorLengthFails) {
   EXPECT_FALSE(d.ok());
 }
 
+// Regression: Str() used to consume the byte after the length blindly.
+// On corrupt input whose separator is not the ' ' the Serializer wrote,
+// that byte belongs to the string body, and swallowing it silently
+// shifted every subsequent read by one.
+TEST(SerdeTest, StrRejectsMissingSeparator) {
+  std::stringstream stream("5-hello 7");
+  serde::Deserializer d(&stream);
+  EXPECT_EQ(d.Str(), "");
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(SerdeTest, StrRejectsLengthAtEof) {
+  std::stringstream stream("5");
+  serde::Deserializer d(&stream);
+  (void)d.Str();
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(SerdeTest, StrRejectsTruncatedBody) {
+  std::stringstream stream("10 short");
+  serde::Deserializer d(&stream);
+  (void)d.Str();
+  EXPECT_FALSE(d.ok());
+}
+
 TEST(MlpSerdeTest, RoundTripPredictsIdentically) {
   Rng rng(3);
   la::Matrix x(64, 4);

@@ -13,9 +13,15 @@
 //                     # global attribution report (attribute influence +
 //                     # recurring decision units)
 //   wym_cli profile   --data /tmp/swa.csv   # dataset quality profile
+//   wym_cli verify    --model model.wym
+//                     # check the file's frames/CRCs without loading it
 //   wym_cli list      # available benchmark dataset ids
 //
 // train-eval / explain apply the paper's 60-20-20 split internally.
+//
+// Exit codes: 0 success, 1 usage or other error, 2 I/O error,
+// 3 corruption (failed checksum / damaged file). Failure messages go to
+// stderr.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +43,30 @@ namespace {
 
 using namespace wym;
 
+/// Exit codes for scripted callers: distinct classes of failure map to
+/// distinct codes so a wrapper can tell "bad flags" from "disk died"
+/// from "model file is damaged".
+enum ExitCode {
+  kExitOk = 0,
+  kExitUsage = 1,
+  kExitIo = 2,
+  kExitCorruption = 3,
+};
+
+/// Maps a non-OK Status onto the exit-code contract, message on stderr.
+int StatusExit(const Status& status) {
+  if (status.ok()) return kExitOk;
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  switch (status.code()) {
+    case Status::Code::kCorruption:
+      return kExitCorruption;
+    case Status::Code::kIoError:
+      return kExitIo;
+    default:
+      return kExitUsage;
+  }
+}
+
 /// Minimal --key value / --flag parser.
 class Args {
  public:
@@ -45,7 +75,7 @@ class Args {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
         std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
-        std::exit(2);
+        std::exit(kExitUsage);
       }
       key = key.substr(2);
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
@@ -79,9 +109,9 @@ class Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: wym_cli <generate|train-eval|explain|stats|profile|list> [flags]\n"
+               "usage: wym_cli <generate|train-eval|explain|stats|profile|verify|list> [flags]\n"
                "see the header of tools/wym_cli.cc for the flag list\n");
-  return 2;
+  return kExitUsage;
 }
 
 core::WymConfig ConfigFromArgs(const Args& args) {
@@ -97,7 +127,7 @@ core::WymConfig ConfigFromArgs(const Args& args) {
     config.generator.similarity = core::PairingSimilarity::kJaroWinkler;
   } else {
     std::fprintf(stderr, "unknown --encoder %s\n", encoder.c_str());
-    std::exit(2);
+    std::exit(kExitUsage);
   }
   const std::string scorer = args.Get("scorer", "neural");
   if (scorer == "binary") {
@@ -106,7 +136,7 @@ core::WymConfig ConfigFromArgs(const Args& args) {
     config.scorer.kind = core::ScorerKind::kCosine;
   } else if (scorer != "neural") {
     std::fprintf(stderr, "unknown --scorer %s\n", scorer.c_str());
-    std::exit(2);
+    std::exit(kExitUsage);
   }
   config.simplified_features = args.Has("simplified");
   config.classifier = args.Get("classifier", "");
@@ -124,13 +154,11 @@ data::Dataset LoadData(const Args& args) {
   const std::string path = args.Get("data");
   if (path.empty()) {
     std::fprintf(stderr, "--data <csv> is required\n");
-    std::exit(2);
+    std::exit(kExitUsage);
   }
   auto result = data::ReadDatasetCsv(path, path);
   if (!result.ok()) {
-    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
-                 result.status().ToString().c_str());
-    std::exit(1);
+    std::exit(StatusExit(result.status().Annotate("cannot load " + path)));
   }
   return std::move(result).value();
 }
@@ -152,20 +180,17 @@ int CmdGenerate(const Args& args) {
   if (spec == nullptr) {
     std::fprintf(stderr, "unknown --dataset '%s' (try: wym_cli list)\n",
                  id.c_str());
-    return 2;
+    return kExitUsage;
   }
   const std::string out = args.Get("out");
   if (out.empty()) {
     std::fprintf(stderr, "--out <csv> is required\n");
-    return 2;
+    return kExitUsage;
   }
   const data::Dataset dataset = data::GenerateDataset(
       *spec, args.GetSeed(), args.GetDouble("scale", 1.0));
   const Status status = data::WriteDatasetCsv(dataset, out);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
+  if (!status.ok()) return StatusExit(status);
   std::printf("wrote %s: %zu records (%.1f%% match)\n", out.c_str(),
               dataset.size(), dataset.MatchPercent());
   return 0;
@@ -192,10 +217,7 @@ int CmdTrainEval(const Args& args) {
   if (args.Has("save")) {
     const std::string out = args.Get("save");
     const Status status = model.SaveToFile(out);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
-    }
+    if (!status.ok()) return StatusExit(status);
     std::printf("model saved to %s\n", out.c_str());
   }
   return 0;
@@ -208,15 +230,13 @@ int CmdExplain(const Args& args) {
   if (record_index >= dataset.size()) {
     std::fprintf(stderr, "--record %zu out of range (%zu records)\n",
                  record_index, dataset.size());
-    return 2;
+    return kExitUsage;
   }
   core::WymModel model(ConfigFromArgs(args));
   if (args.Has("model")) {
     auto loaded = core::WymModel::LoadFromFile(args.Get("model"));
     if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load model: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
+      return StatusExit(loaded.status().Annotate("cannot load model"));
     }
     model = std::move(loaded).value();
   } else {
@@ -242,6 +262,22 @@ int CmdExplain(const Args& args) {
   return 0;
 }
 
+/// `verify`: audit a model file's frames and checksums without loading
+/// (or even deserializing) any model state. Exit 0 = intact, 3 = the
+/// file is damaged, 2 = it cannot be read.
+int CmdVerify(const Args& args) {
+  const std::string path = args.Get("model");
+  if (path.empty()) {
+    std::fprintf(stderr, "--model <file> is required\n");
+    return kExitUsage;
+  }
+  std::string summary;
+  const Status status = core::WymModel::VerifyFile(path, &summary);
+  if (!status.ok()) return StatusExit(status);
+  std::printf("%s: verified\n%s", path.c_str(), summary.c_str());
+  return kExitOk;
+}
+
 }  // namespace
 
 int CmdProfile(const Args& args) {
@@ -257,9 +293,7 @@ int CmdStats(const Args& args) {
   if (args.Has("model")) {
     auto loaded = core::WymModel::LoadFromFile(args.Get("model"));
     if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load model: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
+      return StatusExit(loaded.status().Annotate("cannot load model"));
     }
     model = std::move(loaded).value();
   } else {
@@ -282,5 +316,6 @@ int main(int argc, char** argv) {
   if (command == "explain") return CmdExplain(args);
   if (command == "stats") return CmdStats(args);
   if (command == "profile") return CmdProfile(args);
+  if (command == "verify") return CmdVerify(args);
   return Usage();
 }
