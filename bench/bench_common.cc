@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "ml/metrics.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -92,6 +96,101 @@ data::Dataset BalancedSample(const data::Dataset& dataset,
     }
   }
   return data::Subset(dataset, indices, "/balanced");
+}
+
+PerfReport::PerfReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+PerfReport PerfReport::FromArgs(std::string bench_name, int* argc,
+                                char** argv) {
+  PerfReport report(std::move(bench_name));
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      report.path_ = "BENCH_" + report.bench_name_ + ".json";
+      continue;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0 && arg[7] != '\0') {
+      report.path_ = arg + 7;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+  return report;
+}
+
+void PerfReport::AddStage(const std::string& name, double seconds) {
+  stages_.push_back({name, seconds});
+}
+
+void PerfReport::AddRate(const std::string& name, double per_sec) {
+  rates_.push_back({name, per_sec});
+}
+
+void PerfReport::AddBenchmark(const std::string& name, double time_ns,
+                              uint64_t iterations) {
+  benchmarks_.push_back({name, time_ns, iterations});
+}
+
+bool PerfReport::Write() const {
+  if (!requested()) return true;
+
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+
+  std::ostringstream os;
+  os << "{\"schema\":\"wym-bench-report/v1\"";
+  os << ",\"bench\":\"" << escape(bench_name_) << "\"";
+  os << ",\"scale\":" << ScaleFromEnv();
+  os << ",\"seed\":" << kSeed;
+  os << ",\"benchmarks\":[";
+  for (size_t i = 0; i < benchmarks_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << escape(benchmarks_[i].name)
+       << "\",\"time_ns\":" << benchmarks_[i].time_ns
+       << ",\"iterations\":" << benchmarks_[i].iterations << "}";
+  }
+  os << "],\"stages\":[";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << escape(stages_[i].name)
+       << "\",\"seconds\":" << stages_[i].value << "}";
+  }
+  os << "],\"rates\":[";
+  for (size_t i = 0; i < rates_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << escape(rates_[i].name)
+       << "\",\"per_sec\":" << rates_[i].value << "}";
+  }
+  os << "],\"metrics\":"
+     << obs::MetricsToJson(obs::Registry::Global().Snapshot());
+  os << "}\n";
+
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out << os.str();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "perf report: cannot write %s\n", path_.c_str());
+    return false;
+  }
+  std::printf("perf report written to %s\n", path_.c_str());
+  return true;
 }
 
 void PrintBanner(const std::string& what) {

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/tokenized_record.h"
 #include "core/unit_generator.h"
 #include "data/benchmark_gen.h"
@@ -213,3 +214,40 @@ void BM_GenerateDataset(benchmark::State& state) {
 BENCHMARK(BM_GenerateDataset);
 
 }  // namespace
+
+namespace {
+
+/// Console reporter that also captures per-benchmark results for the
+/// --json perf report (wym-bench-report/v1).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(wym::bench::PerfReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Aggregate || run.error_occurred) continue;
+      report_->AddBenchmark(run.benchmark_name(), run.GetAdjustedRealTime(),
+                            static_cast<uint64_t>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  wym::bench::PerfReport* report_;
+};
+
+}  // namespace
+
+// Custom main (instead of benchmark::benchmark_main) so the harness can
+// strip --json[=PATH] before google-benchmark parses flags, then emit
+// the machine-readable report next to the console output.
+int main(int argc, char** argv) {
+  wym::bench::PerfReport report =
+      wym::bench::PerfReport::FromArgs("micro", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return report.Write() ? 0 : 1;
+}

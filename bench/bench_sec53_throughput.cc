@@ -20,8 +20,10 @@
 #include "util/table.h"
 #include "util/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wym;
+  bench::PerfReport report =
+      bench::PerfReport::FromArgs("sec53_throughput", &argc, argv);
   bench::PrintBanner("Section 5.3: time performance");
   const double scale = bench::ScaleFromEnv();
 
@@ -92,6 +94,17 @@ int main() {
                   strings::FormatDouble(rps_nt / std::max(rps_1t, 1e-9), 2),
                   pct(t_encode), pct(t_units), pct(t_score), pct(t_classify),
                   pct(t_impacts)});
+    report.AddStage(spec.id + ".train", train_seconds);
+    report.AddStage(spec.id + ".infer.encode", t_encode);
+    report.AddStage(spec.id + ".infer.units", t_units);
+    report.AddStage(spec.id + ".infer.score", t_score);
+    report.AddStage(spec.id + ".infer.classify", t_classify);
+    report.AddStage(spec.id + ".infer.impacts", t_impacts);
+    report.AddRate(spec.id + ".train_rec_per_sec",
+                   static_cast<double>(data.split.train.size()) /
+                       std::max(train_seconds, 1e-9));
+    report.AddRate(spec.id + ".explain_rec_per_sec_1t", rps_1t);
+    report.AddRate(spec.id + ".explain_rec_per_sec_nt", rps_nt);
     std::printf("  [done] %s\n", spec.id.c_str());
   }
   std::printf("\n");
@@ -103,5 +116,5 @@ int main() {
       "(the paper reports ~40%% on their BERT-sized stack). The 1T vs NT\n"
       "columns compare the same batch API on a 1-thread pool and on the\n"
       "WYM_THREADS-sized global pool; outputs are bit-identical.\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

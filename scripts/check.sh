@@ -5,7 +5,8 @@
 #
 #   sh scripts/check.sh              # all configurations
 #   sh scripts/check.sh release      # just one
-#                                    # (release|ubsan|asan-ubsan|debug-checks)
+#                                    # (release|ubsan|asan-ubsan|debug-checks|
+#                                    #  perf-report)
 #
 # Build trees land in build-check-<name>/ so they never disturb an
 # existing build/ directory. Set JOBS to cap build parallelism.
@@ -52,6 +53,38 @@ run_config ubsan -DWYM_SANITIZE=undefined
 run_config asan-ubsan -DWYM_SANITIZE=address,undefined
 # Debug invariant tier: WYM_DCHECK bounds/dimension/NaN checks live.
 run_config debug-checks -DWYM_DEBUG_CHECKS=ON
+
+# Perf report: bench_micro --json must emit a schema-valid
+# wym-bench-report/v1 file (the BENCH_*.json trajectory). Reuses the
+# release tree; a short benchmark subset keeps the step fast.
+run_perf_report() {
+  name=perf-report
+  if [ "$ONLY" != all ] && [ "$ONLY" != "$name" ]; then
+    return 0
+  fi
+  build="$ROOT/build-check-release"
+  log="$build-perf-report.log"
+  report="$build/BENCH_micro.json"
+  echo "==> [$name] bench_micro --json + schema validation"
+  if cmake -B "$build" -S "$ROOT" > "$log" 2>&1 \
+     && cmake --build "$build" -j "$JOBS" --target bench_micro wym_cli \
+        >> "$log" 2>&1 \
+     && "$build/bench/bench_micro" --json="$report" \
+        --benchmark_filter='BM_Dot|BM_UnitGeneration_Cached' \
+        --benchmark_min_time=0.01 >> "$log" 2>&1 \
+     && "$build/tools/wym_cli" validate-report --file "$report" \
+        >> "$log" 2>&1
+  then
+    SUMMARY="$SUMMARY
+  PASS  $name"
+  else
+    SUMMARY="$SUMMARY
+  FAIL  $name (see $log)"
+    FAILED=1
+    tail -n 30 "$log"
+  fi
+}
+run_perf_report
 
 echo
 echo "check.sh summary:$SUMMARY"

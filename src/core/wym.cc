@@ -5,6 +5,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/framed_file.h"
 #include "util/io.h"
 #include "util/logging.h"
@@ -57,6 +59,12 @@ WymModel::WymModel(WymConfig config)
 void WymModel::Fit(const data::Dataset& train,
                    const data::Dataset& validation) {
   WYM_CHECK_GT(train.size(), 0u) << "empty training set";
+  obs::SpanScope fit_span("fit");
+  {
+    static obs::Counter& records =
+        obs::Registry::Global().GetCounter("fit.records");
+    records.Add(train.size());
+  }
   num_attributes_ = train.schema.size();
 
   // Rebuild stateful components so Fit is idempotent.
@@ -73,17 +81,23 @@ void WymModel::Fit(const data::Dataset& train,
   // corpus order matches the sequential loop exactly.
   std::vector<TokenizedRecord> train_tokens(train.size());
   std::vector<std::vector<std::string>> corpus(2 * train.size());
-  util::ParallelFor(
-      train.size(), /*grain=*/16, [&](size_t begin, size_t end, size_t) {
-        for (size_t i = begin; i < end; ++i) {
-          TokenizedRecord tokenized =
-              TokenizeRecord(train.records[i], train.schema, tokenizer_);
-          corpus[2 * i] = tokenized.left.tokens;
-          corpus[2 * i + 1] = tokenized.right.tokens;
-          train_tokens[i] = std::move(tokenized);
-        }
-      });
-  encoder_.Fit(corpus);
+  {
+    obs::SpanScope span("fit.tokenize");
+    util::ParallelFor(
+        train.size(), /*grain=*/16, [&](size_t begin, size_t end, size_t) {
+          for (size_t i = begin; i < end; ++i) {
+            TokenizedRecord tokenized =
+                TokenizeRecord(train.records[i], train.schema, tokenizer_);
+            corpus[2 * i] = tokenized.left.tokens;
+            corpus[2 * i + 1] = tokenized.right.tokens;
+            train_tokens[i] = std::move(tokenized);
+          }
+        });
+  }
+  {
+    obs::SpanScope span("fit.encoder_fit");
+    encoder_.Fit(corpus);
+  }
 
   // 2. Encode; then (kSiamese) calibrate on pooled pair embeddings and
   // re-encode with the calibrated metric.
@@ -96,8 +110,12 @@ void WymModel::Fit(const data::Dataset& train,
           }
         });
   };
-  encode_all(&train_tokens);
+  {
+    obs::SpanScope span("fit.encode");
+    encode_all(&train_tokens);
+  }
   if (config_.encoder.mode == embedding::EncoderMode::kSiamese) {
+    obs::SpanScope span("fit.siamese_calibrate");
     std::vector<std::pair<la::Vec, la::Vec>> pairs;
     std::vector<int> labels;
     for (const auto& record : train_tokens) {
@@ -115,16 +133,23 @@ void WymModel::Fit(const data::Dataset& train,
 
   // 3. Discover decision units (Algorithm 1) on every training record.
   std::vector<std::vector<DecisionUnit>> train_units(train_tokens.size());
-  util::ParallelFor(
-      train_tokens.size(), /*grain=*/8, [&](size_t begin, size_t end, size_t) {
-        for (size_t i = begin; i < end; ++i) {
-          train_units[i] = generator_.Generate(
-              train_tokens[i].left, train_tokens[i].right, num_attributes_);
-        }
-      });
+  {
+    obs::SpanScope span("fit.unit_generation");
+    util::ParallelFor(
+        train_tokens.size(), /*grain=*/8,
+        [&](size_t begin, size_t end, size_t) {
+          for (size_t i = begin; i < end; ++i) {
+            train_units[i] = generator_.Generate(
+                train_tokens[i].left, train_tokens[i].right, num_attributes_);
+          }
+        });
+  }
 
   // 4. Fit the relevance scorer (Eq. 2/3 targets).
-  scorer_.Fit(train_tokens, train_units);
+  {
+    obs::SpanScope span("fit.scorer_fit");
+    scorer_.Fit(train_tokens, train_units);
+  }
 
   // 5. Score units and extract features for train + validation.
   auto scored_sets = [&](const std::vector<TokenizedRecord>& records,
@@ -139,29 +164,38 @@ void WymModel::Fit(const data::Dataset& train,
         });
     return sets;
   };
-  const std::vector<ScoredUnitSet> train_sets =
-      scored_sets(train_tokens, train_units);
+  std::vector<ScoredUnitSet> train_sets;
+  {
+    obs::SpanScope span("fit.score_units");
+    train_sets = scored_sets(train_tokens, train_units);
+  }
 
   std::vector<TokenizedRecord> val_tokens(validation.size());
   std::vector<std::vector<DecisionUnit>> val_units(validation.size());
-  util::ParallelFor(
-      validation.size(), /*grain=*/8, [&](size_t begin, size_t end, size_t) {
-        for (size_t i = begin; i < end; ++i) {
-          TokenizedRecord tokenized =
-              TokenizeRecord(validation.records[i], validation.schema,
-                             tokenizer_);
-          EncodeEntity(encoder_, &tokenized.left);
-          EncodeEntity(encoder_, &tokenized.right);
-          val_units[i] = generator_.Generate(tokenized.left, tokenized.right,
-                                             num_attributes_);
-          val_tokens[i] = std::move(tokenized);
-        }
-      });
-  const std::vector<ScoredUnitSet> val_sets =
-      scored_sets(val_tokens, val_units);
+  std::vector<ScoredUnitSet> val_sets;
+  {
+    obs::SpanScope span("fit.validation_prepare");
+    util::ParallelFor(
+        validation.size(), /*grain=*/8, [&](size_t begin, size_t end, size_t) {
+          for (size_t i = begin; i < end; ++i) {
+            TokenizedRecord tokenized =
+                TokenizeRecord(validation.records[i], validation.schema,
+                               tokenizer_);
+            EncodeEntity(encoder_, &tokenized.left);
+            EncodeEntity(encoder_, &tokenized.right);
+            val_units[i] = generator_.Generate(tokenized.left, tokenized.right,
+                                               num_attributes_);
+            val_tokens[i] = std::move(tokenized);
+          }
+        });
+    val_sets = scored_sets(val_tokens, val_units);
+  }
 
   // 6. Train the classifier pool and select by validation F1.
-  matcher_.Fit(train_sets, train.Labels(), val_sets, validation.Labels());
+  {
+    obs::SpanScope span("fit.classifier_fit");
+    matcher_.Fit(train_sets, train.Labels(), val_sets, validation.Labels());
+  }
   fitted_ = true;
 }
 
@@ -253,6 +287,20 @@ void FillReport(const std::vector<std::string>& reasons,
   }
 }
 
+/// Bumps the batch-level counters (`<prefix>.records`,
+/// `<prefix>.records_quarantined`) from the per-index reason vector —
+/// after the parallel loop, so counting never touches the hot path.
+void CountBatch(const std::vector<std::string>& reasons,
+                obs::Counter& records, obs::Counter& quarantined) {
+  if (!obs::MetricsEnabled()) return;
+  records.Add(reasons.size());
+  size_t bad = 0;
+  for (const std::string& reason : reasons) {
+    if (!reason.empty()) ++bad;
+  }
+  if (bad > 0) quarantined.Add(bad);
+}
+
 }  // namespace
 
 std::vector<double> WymModel::PredictProbaBatch(const data::Dataset& dataset,
@@ -264,12 +312,18 @@ std::vector<double> WymModel::PredictProbaBatch(const data::Dataset& dataset,
                                                 PredictionReport* report,
                                                 util::ThreadPool* pool) const {
   WYM_CHECK(fitted_) << "WymModel used before Fit";
+  obs::SpanScope batch_span("predict.batch");
+  const bool metrics = obs::MetricsEnabled();
+  static obs::Histogram& record_ns =
+      obs::Registry::Global().GetHistogram("predict.record_ns");
   std::vector<double> out(dataset.size());
   std::vector<std::string> reasons(dataset.size());
   util::ParallelFor(
       dataset.size(), /*grain=*/1,
       [&](size_t begin, size_t end, size_t) {
         for (size_t i = begin; i < end; ++i) {
+          obs::SpanScope span("predict.record");
+          const std::uint64_t t0 = metrics ? obs::NowNanos() : 0;
           const TokenizedRecord tokenized = Prepare(dataset.records[i]);
           reasons[i] = DegenerateReason(tokenized);
           if (!reasons[i].empty()) {
@@ -281,10 +335,16 @@ std::vector<double> WymModel::PredictProbaBatch(const data::Dataset& dataset,
             reasons[i] = "non-finite match probability";
             out[i] = 0.0;
           }
+          if (metrics) record_ns.Record(obs::NowNanos() - t0);
         }
       },
       pool);
   FillReport(reasons, report);
+  static obs::Counter& records =
+      obs::Registry::Global().GetCounter("predict.records");
+  static obs::Counter& quarantined =
+      obs::Registry::Global().GetCounter("predict.records_quarantined");
+  CountBatch(reasons, records, quarantined);
   return out;
 }
 
@@ -297,12 +357,18 @@ std::vector<Explanation> WymModel::ExplainBatch(const data::Dataset& dataset,
                                                 PredictionReport* report,
                                                 util::ThreadPool* pool) const {
   WYM_CHECK(fitted_) << "WymModel used before Fit";
+  obs::SpanScope batch_span("explain.batch");
+  const bool metrics = obs::MetricsEnabled();
+  static obs::Histogram& record_ns =
+      obs::Registry::Global().GetHistogram("explain.record_ns");
   std::vector<Explanation> out(dataset.size());
   std::vector<std::string> reasons(dataset.size());
   util::ParallelFor(
       dataset.size(), /*grain=*/1,
       [&](size_t begin, size_t end, size_t) {
         for (size_t i = begin; i < end; ++i) {
+          obs::SpanScope span("explain.record");
+          const std::uint64_t t0 = metrics ? obs::NowNanos() : 0;
           const TokenizedRecord tokenized = Prepare(dataset.records[i]);
           reasons[i] = DegenerateReason(tokenized);
           if (!reasons[i].empty()) {
@@ -310,10 +376,16 @@ std::vector<Explanation> WymModel::ExplainBatch(const data::Dataset& dataset,
             continue;
           }
           out[i] = Explain(dataset.records[i]);
+          if (metrics) record_ns.Record(obs::NowNanos() - t0);
         }
       },
       pool);
   FillReport(reasons, report);
+  static obs::Counter& records =
+      obs::Registry::Global().GetCounter("explain.records");
+  static obs::Counter& quarantined =
+      obs::Registry::Global().GetCounter("explain.records_quarantined");
+  CountBatch(reasons, records, quarantined);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/io.h"
 #include "util/string_util.h"
 
@@ -162,6 +163,9 @@ Result<Dataset> DatasetFromCsv(const std::string& csv,
                                   ": " + reason);
       }
       ++rows_quarantined;
+      static obs::Counter& quarantined =
+          obs::Registry::Global().GetCounter("csv.rows_quarantined");
+      quarantined.Add(1);
       if (report != nullptr) {
         ++report->rows_quarantined;
         if (report->errors.size() < CsvReport::kMaxRecordedErrors) {

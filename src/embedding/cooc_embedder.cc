@@ -7,6 +7,7 @@
 
 #include "la/eigen.h"
 #include "la/sparse_matrix.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -18,8 +19,11 @@ void CoocEmbedder::Fit(const std::vector<std::vector<std::string>>& sentences) {
   WYM_CHECK(!fitted_) << "CoocEmbedder::Fit called twice";
 
   // Pass 1: vocabulary with counts.
-  for (const auto& sentence : sentences) {
-    for (const auto& token : sentence) vocab_.Add(token);
+  {
+    obs::SpanScope span("encoder.vocab_pass");
+    for (const auto& sentence : sentences) {
+      for (const auto& token : sentence) vocab_.Add(token);
+    }
   }
 
   // Select kept vocabulary: frequent tokens, capped.
@@ -48,51 +52,54 @@ void CoocEmbedder::Fit(const std::vector<std::vector<std::string>>& sentences) {
   };
   constexpr size_t kShardGrain = 256;  // Sentences per shard.
   std::vector<CoocShard> shards(util::NumChunks(sentences.size(), kShardGrain));
-  util::ParallelFor(
-      sentences.size(), kShardGrain,
-      [&](size_t begin, size_t end, size_t shard_index) {
-        CoocShard& shard = shards[shard_index];
-        shard.row_sum.assign(n, 0.0);
-        std::vector<int32_t> ids;
-        for (size_t s = begin; s < end; ++s) {
-          const auto& sentence = sentences[s];
-          ids.clear();
-          ids.reserve(sentence.size());
-          for (const auto& token : sentence) {
-            const int32_t vid = vocab_.IdOf(token);
-            ids.push_back(vid >= 0 ? kept_id_[vid] : -1);
-          }
-          for (size_t i = 0; i < ids.size(); ++i) {
-            if (ids[i] < 0) continue;
-            const size_t hi = std::min(ids.size(), i + 1 + options_.window);
-            for (size_t j = i + 1; j < hi; ++j) {
-              if (ids[j] < 0) continue;
-              const double weight = 1.0 / static_cast<double>(j - i);
-              const uint32_t a =
-                  static_cast<uint32_t>(std::min(ids[i], ids[j]));
-              const uint32_t b =
-                  static_cast<uint32_t>(std::max(ids[i], ids[j]));
-              shard.cooc[(static_cast<uint64_t>(a) << 32) | b] += weight;
-              shard.row_sum[a] += weight;
-              shard.row_sum[b] += weight;
-              shard.total += 2.0 * weight;
-            }
-          }
-        }
-      });
-
-  // Ordered reduction: shard 0, 1, 2, ... regardless of which worker
-  // produced which shard.
   std::unordered_map<uint64_t, double> cooc;
   std::vector<double> row_sum(n, 0.0);
   double total = 0.0;
-  for (const CoocShard& shard : shards) {
-    // wym-lint: allow(unordered-iteration): per-key merge; each key's sum is visit-order-independent, and the PPMI build below iterates key-sorted
-    for (const auto& [key, weight] : shard.cooc) cooc[key] += weight;
-    for (size_t i = 0; i < n; ++i) row_sum[i] += shard.row_sum[i];
-    total += shard.total;
+  {
+    obs::SpanScope span("encoder.cooc_pass");
+    util::ParallelFor(
+        sentences.size(), kShardGrain,
+        [&](size_t begin, size_t end, size_t shard_index) {
+          CoocShard& shard = shards[shard_index];
+          shard.row_sum.assign(n, 0.0);
+          std::vector<int32_t> ids;
+          for (size_t s = begin; s < end; ++s) {
+            const auto& sentence = sentences[s];
+            ids.clear();
+            ids.reserve(sentence.size());
+            for (const auto& token : sentence) {
+              const int32_t vid = vocab_.IdOf(token);
+              ids.push_back(vid >= 0 ? kept_id_[vid] : -1);
+            }
+            for (size_t i = 0; i < ids.size(); ++i) {
+              if (ids[i] < 0) continue;
+              const size_t hi = std::min(ids.size(), i + 1 + options_.window);
+              for (size_t j = i + 1; j < hi; ++j) {
+                if (ids[j] < 0) continue;
+                const double weight = 1.0 / static_cast<double>(j - i);
+                const uint32_t a =
+                    static_cast<uint32_t>(std::min(ids[i], ids[j]));
+                const uint32_t b =
+                    static_cast<uint32_t>(std::max(ids[i], ids[j]));
+                shard.cooc[(static_cast<uint64_t>(a) << 32) | b] += weight;
+                shard.row_sum[a] += weight;
+                shard.row_sum[b] += weight;
+                shard.total += 2.0 * weight;
+              }
+            }
+          }
+        });
+
+    // Ordered reduction: shard 0, 1, 2, ... regardless of which worker
+    // produced which shard.
+    for (const CoocShard& shard : shards) {
+      // wym-lint: allow(unordered-iteration): per-key merge; each key's sum is visit-order-independent, and the PPMI build below iterates key-sorted
+      for (const auto& [key, weight] : shard.cooc) cooc[key] += weight;
+      for (size_t i = 0; i < n; ++i) row_sum[i] += shard.row_sum[i];
+      total += shard.total;
+    }
+    shards.clear();
   }
-  shards.clear();
   if (total == 0.0) {
     // Degenerate corpus (all sentences length 1): embeddings stay zero.
     vectors_.assign(n, la::Zeros(options_.dim));
@@ -100,37 +107,45 @@ void CoocEmbedder::Fit(const std::vector<std::vector<std::string>>& sentences) {
     return;
   }
 
-  // Smoothed context distribution for PPMI.
-  std::vector<double> context_prob(n, 0.0);
-  double smoothed_total = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    context_prob[i] = std::pow(row_sum[i], options_.smoothing);
-    smoothed_total += context_prob[i];
-  }
-  for (double& p : context_prob) p /= smoothed_total;
-
-  // Build the PPMI matrix from key-sorted entries: the append order into
-  // each sparse row (and hence every downstream floating-point sum in
-  // MultiplyDense) is fixed by the data, not by hash-map iteration.
-  std::vector<std::pair<uint64_t, double>> entries(cooc.begin(), cooc.end());
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& x, const auto& y) { return x.first < y.first; });
-
   la::SparseMatrix ppmi(n);
-  for (const auto& [key, count] : entries) {
-    const uint32_t a = static_cast<uint32_t>(key >> 32);
-    const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
-    const double p_ab = count / total;
-    const double p_a = row_sum[a] / total;
-    const double value = std::log(p_ab / (p_a * context_prob[b]));
-    if (value <= 0.0) continue;
-    ppmi.Add(a, b, value);
-    if (a != b) ppmi.Add(b, a, value);
+  {
+    obs::SpanScope span("encoder.ppmi_build");
+
+    // Smoothed context distribution for PPMI.
+    std::vector<double> context_prob(n, 0.0);
+    double smoothed_total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      context_prob[i] = std::pow(row_sum[i], options_.smoothing);
+      smoothed_total += context_prob[i];
+    }
+    for (double& p : context_prob) p /= smoothed_total;
+
+    // Build the PPMI matrix from key-sorted entries: the append order
+    // into each sparse row (and hence every downstream floating-point
+    // sum in MultiplyDense) is fixed by the data, not by hash-map
+    // iteration.
+    std::vector<std::pair<uint64_t, double>> entries(cooc.begin(),
+                                                     cooc.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+
+    for (const auto& [key, count] : entries) {
+      const uint32_t a = static_cast<uint32_t>(key >> 32);
+      const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
+      const double p_ab = count / total;
+      const double p_a = row_sum[a] / total;
+      const double value = std::log(p_ab / (p_a * context_prob[b]));
+      if (value <= 0.0) continue;
+      ppmi.Add(a, b, value);
+      if (a != b) ppmi.Add(b, a, value);
+    }
   }
 
-  const la::EigenResult eigen =
-      la::TopEigenpairs(ppmi, options_.dim, options_.iterations, options_.seed);
-  const la::Matrix emb = la::EigenEmbedding(eigen);
+  const la::Matrix emb = [&] {
+    obs::SpanScope span("encoder.svd_power_iteration");
+    return la::EigenEmbedding(la::TopEigenpairs(
+        ppmi, options_.dim, options_.iterations, options_.seed));
+  }();
 
   vectors_.assign(n, la::Vec());
   for (size_t i = 0; i < n; ++i) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace wym::embedding {
@@ -143,7 +144,10 @@ std::vector<la::Vec> SemanticEncoder::EncodeTokens(
   base.reserve(tokens.size());
   for (const auto& token : tokens) base.push_back(CachedBaseEmbed(token));
 
-  std::vector<la::Vec> mixed = mixer_.Mix(base);
+  std::vector<la::Vec> mixed = [&] {
+    obs::SpanScope span("encoder.context_mix");
+    return mixer_.Mix(base);
+  }();
   if (options_.mode == EncoderMode::kSiamese && calibrator_.fitted()) {
     for (auto& v : mixed) v = calibrator_.Apply(v);
   }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace wym::la::kernels {
@@ -135,12 +136,22 @@ SimdLevel EnvRequestedLevel() {
 std::atomic<const internal::KernelTable*> g_table{nullptr};
 std::atomic<SimdLevel> g_level{SimdLevel::kScalar};
 
+/// Counts each dispatch (re-)resolution under `simd.dispatch.<level>`.
+/// Resolution happens once per process (plus explicit SetSimdLevel
+/// calls), so this is off every hot path.
+void CountDispatch(SimdLevel level) {
+  obs::Registry::Global()
+      .GetCounter(std::string("simd.dispatch.") + SimdLevelName(level))
+      .Add(1);
+}
+
 const internal::KernelTable& Active() {
   const internal::KernelTable* table = g_table.load(std::memory_order_acquire);
   if (table != nullptr) return *table;
   const Dispatch resolved = ResolveAtOrBelow(EnvRequestedLevel());
   g_level.store(resolved.level, std::memory_order_relaxed);
   g_table.store(resolved.table, std::memory_order_release);
+  CountDispatch(resolved.level);
   return *resolved.table;
 }
 
@@ -181,6 +192,7 @@ SimdLevel SetSimdLevel(SimdLevel level) {
   const Dispatch resolved = ResolveAtOrBelow(level);
   g_level.store(resolved.level, std::memory_order_relaxed);
   g_table.store(resolved.table, std::memory_order_release);
+  CountDispatch(resolved.level);
   return resolved.level;
 }
 
@@ -233,6 +245,12 @@ void SimilarityMatrix(const float* a, size_t a_rows, const float* b,
                       size_t b_rows, size_t dim, double* out) {
   WYM_DCHECK(a_rows == 0 || b_rows == 0 ||
              (dim > 0 && a != nullptr && b != nullptr && out != nullptr));
+  // One relaxed increment per matrix (never per Dot): the whole-matrix
+  // granularity keeps instrumentation under the <2% unit-generation
+  // overhead budget (DESIGN.md "Observability").
+  static obs::Counter& calls =
+      obs::Registry::Global().GetCounter("kernels.similarity_matrix_calls");
+  calls.Add(1);
   const internal::KernelTable& table = Active();
   // Block over rows so a block of B rows stays cache-resident while a
   // block of A rows streams over it. Each cell is one independent Dot,

@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace wym::obs {
+
+bool MetricsEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("WYM_METRICS");
+    if (env == nullptr) return true;
+    const std::string v(env);
+    return !(v == "0" || v == "off" || v == "OFF");
+  }();
+  return enabled;
+}
+
+namespace internal {
+
+std::size_t ShardIndex() {
+  // Threads take shards round-robin from a process-wide ticket; the
+  // assignment is stable per thread (thread_local) and collisions are
+  // harmless because shards merge by summation.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate linearly inside bucket b: [lower, upper].
+    const double lower = b == 0 ? 0.0 : static_cast<double>(1ull << b);
+    const double upper = static_cast<double>(Histogram::BucketUpperBound(b));
+    const double into =
+        (target - static_cast<double>(before)) /
+        static_cast<double>(buckets[b]);
+    return lower + into * (upper - lower);
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperBound(buckets.empty() ? 0 : buckets.size() - 1));
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  // Fixed shard order, commutative integer sums: the merged snapshot is
+  // independent of which thread recorded which sample.
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += shard.buckets[b].value.load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.value.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : snap.buckets) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (internal::PaddedAtomicU64& bucket : shard.buckets) {
+      bucket.value.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // wym-lint: allow(no-raw-new-delete): intentionally leaked process-lifetime singleton; a static value could be destroyed before late metric writers during shutdown.
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value(), gauge->Max()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram->Snapshot()});
+  }
+  return snap;
+}
+
+void Registry::ResetForTest() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string RenderMetrics(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "metrics registry (" << snapshot.counters.size() << " counters, "
+     << snapshot.gauges.size() << " gauges, " << snapshot.histograms.size()
+     << " histograms)\n";
+  if (!snapshot.counters.empty()) {
+    os << "counters:\n";
+    for (const MetricsSnapshot::CounterEntry& c : snapshot.counters) {
+      os << "  " << c.name << " = " << c.value << "\n";
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    os << "gauges:\n";
+    for (const MetricsSnapshot::GaugeEntry& g : snapshot.gauges) {
+      os << "  " << g.name << " = " << g.value << " (max " << g.max << ")\n";
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    os << "histograms:\n";
+    for (const MetricsSnapshot::HistogramEntry& h : snapshot.histograms) {
+      os << "  " << h.name << ": count=" << h.hist.count
+         << " mean=" << h.hist.Mean() << "ns p50=" << h.hist.Percentile(0.5)
+         << "ns p95=" << h.hist.Percentile(0.95) << "ns\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  // Metric names are restricted to [A-Za-z0-9._-] by convention, but
+  // escape the JSON-significant characters anyway so a stray name can
+  // never corrupt a report.
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << escape(snapshot.counters[i].name)
+       << "\":" << snapshot.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << escape(snapshot.gauges[i].name) << "\":{\"value\":"
+       << snapshot.gauges[i].value << ",\"max\":" << snapshot.gauges[i].max
+       << "}";
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i > 0) os << ",";
+    const HistogramSnapshot& h = snapshot.histograms[i].hist;
+    os << "\"" << escape(snapshot.histograms[i].name) << "\":{\"count\":"
+       << h.count << ",\"sum_ns\":" << h.sum << ",\"mean_ns\":" << h.Mean()
+       << ",\"p50_ns\":" << h.Percentile(0.5)
+       << ",\"p95_ns\":" << h.Percentile(0.95) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace wym::obs

@@ -1,0 +1,135 @@
+#include "obs/report.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace wym::obs {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Requires `value` to be an object with member `key` of kind `kind`;
+/// returns the member or null with `*error` set.
+const JsonValue* RequireMember(const JsonValue& value, const char* key,
+                               JsonValue::Kind kind, const char* where,
+                               std::string* error) {
+  const JsonValue* member = value.Find(key);
+  if (member == nullptr) {
+    std::ostringstream os;
+    os << where << ": missing required member \"" << key << "\"";
+    Fail(error, os.str());
+    return nullptr;
+  }
+  if (member->kind != kind) {
+    std::ostringstream os;
+    os << where << ": member \"" << key << "\" has the wrong type";
+    Fail(error, os.str());
+    return nullptr;
+  }
+  return member;
+}
+
+}  // namespace
+
+bool ValidateTraceJson(const std::string& text, std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  if (!root.IsObject()) return Fail(error, "trace: top level is not an object");
+  const JsonValue* events = RequireMember(root, "traceEvents",
+                                          JsonValue::Kind::kArray, "trace",
+                                          error);
+  if (events == nullptr) return false;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    std::ostringstream where;
+    where << "traceEvents[" << i << "]";
+    const std::string w = where.str();
+    if (!event.IsObject()) return Fail(error, w + ": not an object");
+    for (const char* key : {"name", "cat", "ph"}) {
+      if (RequireMember(event, key, JsonValue::Kind::kString, w.c_str(),
+                        error) == nullptr) {
+        return false;
+      }
+    }
+    for (const char* key : {"pid", "tid", "ts"}) {
+      if (RequireMember(event, key, JsonValue::Kind::kNumber, w.c_str(),
+                        error) == nullptr) {
+        return false;
+      }
+    }
+    const JsonValue* ph = event.Find("ph");
+    if (ph->string == "X") {
+      const JsonValue* dur = RequireMember(event, "dur",
+                                           JsonValue::Kind::kNumber,
+                                           w.c_str(), error);
+      if (dur == nullptr) return false;
+      if (dur->number < 0) return Fail(error, w + ": negative duration");
+    }
+  }
+  return true;
+}
+
+bool ValidateBenchReportJson(const std::string& text, std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  if (!root.IsObject()) {
+    return Fail(error, "bench report: top level is not an object");
+  }
+  const JsonValue* schema = RequireMember(root, "schema",
+                                          JsonValue::Kind::kString,
+                                          "bench report", error);
+  if (schema == nullptr) return false;
+  if (schema->string != "wym-bench-report/v1") {
+    return Fail(error, "bench report: unknown schema \"" + schema->string +
+                           "\" (expected wym-bench-report/v1)");
+  }
+  if (RequireMember(root, "bench", JsonValue::Kind::kString, "bench report",
+                    error) == nullptr) {
+    return false;
+  }
+  const JsonValue* benchmarks = RequireMember(root, "benchmarks",
+                                              JsonValue::Kind::kArray,
+                                              "bench report", error);
+  if (benchmarks == nullptr) return false;
+  for (std::size_t i = 0; i < benchmarks->array.size(); ++i) {
+    const JsonValue& b = benchmarks->array[i];
+    std::ostringstream where;
+    where << "benchmarks[" << i << "]";
+    const std::string w = where.str();
+    if (!b.IsObject()) return Fail(error, w + ": not an object");
+    if (RequireMember(b, "name", JsonValue::Kind::kString, w.c_str(),
+                      error) == nullptr) {
+      return false;
+    }
+    if (RequireMember(b, "time_ns", JsonValue::Kind::kNumber, w.c_str(),
+                      error) == nullptr) {
+      return false;
+    }
+  }
+  const JsonValue* metrics = RequireMember(root, "metrics",
+                                           JsonValue::Kind::kObject,
+                                           "bench report", error);
+  if (metrics == nullptr) return false;
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (RequireMember(*metrics, section, JsonValue::Kind::kObject, "metrics",
+                      error) == nullptr) {
+      return false;
+    }
+  }
+  // Optional sections, type-checked when present.
+  for (const char* section : {"stages", "rates"}) {
+    const JsonValue* opt = root.Find(section);
+    if (opt != nullptr && !opt->IsArray()) {
+      return Fail(error, std::string("bench report: \"") + section +
+                             "\" must be an array");
+    }
+  }
+  return true;
+}
+
+}  // namespace wym::obs

@@ -1,0 +1,36 @@
+#ifndef WYM_OBS_REPORT_H_
+#define WYM_OBS_REPORT_H_
+
+#include <string>
+
+/// \file
+/// Schema validation for the observability layer's two machine-readable
+/// artifacts:
+///
+///  * trace files — the Chrome trace_event JSON written for WYM_TRACE
+///    (obs/trace.cc): a top-level object with a "traceEvents" array of
+///    complete events carrying name/cat/ph/pid/tid/ts/dur;
+///
+///  * bench reports — the wym-bench-report/v1 JSON emitted by
+///    bench_common's --json flag: schema marker, bench name,
+///    benchmarks[] with name + time_ns, and a metrics object with
+///    counters/gauges/histograms sections.
+///
+/// Used by tests (obs_test), `wym_cli validate-report`, and the
+/// scripts/check.sh perf-report step. Validators return bool + error
+/// string (not Status): obs sits below util in the dependency order.
+
+namespace wym::obs {
+
+/// True when `text` is a trace_event JSON file the Chrome tracer would
+/// load: a JSON object whose "traceEvents" member is an array of event
+/// objects, each with string "name"/"cat"/"ph" and numeric
+/// "pid"/"tid"/"ts" (and numeric "dur" for "ph":"X" events).
+bool ValidateTraceJson(const std::string& text, std::string* error);
+
+/// True when `text` conforms to the wym-bench-report/v1 schema.
+bool ValidateBenchReportJson(const std::string& text, std::string* error);
+
+}  // namespace wym::obs
+
+#endif  // WYM_OBS_REPORT_H_

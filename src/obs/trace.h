@@ -1,0 +1,87 @@
+#ifndef WYM_OBS_TRACE_H_
+#define WYM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+/// \file
+/// Span-based tracing with Chrome trace_event JSON export.
+///
+/// Usage: set WYM_TRACE=/path/to/out.json in the environment and run
+/// any pipeline entry point; a complete-event ("ph":"X") trace is
+/// written at process exit (or at StopTracingAndWrite()) that loads
+/// directly in chrome://tracing / Perfetto. Instrumented code wraps
+/// stages in a SpanScope (or the WYM_SPAN macro):
+///
+///   {
+///     obs::SpanScope span("fit.tokenize");
+///     ... work ...
+///   }
+///
+/// Cost model: when tracing is inactive a SpanScope is one relaxed
+/// atomic load in the constructor and one branch in the destructor —
+/// no clock reads, no allocation. When active, each span costs two
+/// clock reads plus an append to a per-thread buffer (amortized; the
+/// buffer grows geometrically and is flushed once at the end).
+///
+/// Span names and categories must be string literals (or otherwise
+/// outlive tracing): events store the pointers, not copies, so the
+/// hot path never allocates.
+///
+/// Time comes from a single process-wide util::Stopwatch epoch
+/// (NowNanos()), the tree's one sanctioned time source — metrics
+/// histograms and spans therefore share a clock by construction.
+
+namespace wym::obs {
+
+/// Nanoseconds since the process trace epoch (first use). Monotonic,
+/// shared by spans and callers that time sections manually (e.g. the
+/// thread pool's queue-wait histogram).
+std::uint64_t NowNanos();
+
+/// True when spans are being collected.
+bool TracingActive();
+
+/// Starts collecting spans, to be written to `path` on
+/// StopTracingAndWrite() or process exit. Programmatic alternative to
+/// WYM_TRACE for tests and tools; calling while already active just
+/// redirects the output path.
+void StartTracing(const std::string& path);
+
+/// Stops collection and writes the trace_event JSON file. Returns
+/// false (with `*error` set, if non-null) when the file cannot be
+/// written or tracing was never started. Idempotent: a second call
+/// without an intervening StartTracing() fails cleanly.
+bool StopTracingAndWrite(std::string* error = nullptr);
+
+/// Appends one complete event ("ph":"X"). `name` and `category` must
+/// outlive tracing (string literals). No-op when tracing is inactive.
+void AppendCompleteEvent(const char* name, const char* category,
+                         std::uint64_t start_ns, std::uint64_t dur_ns);
+
+/// RAII span: records [construction, destruction) as a complete event
+/// on the calling thread's timeline.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, const char* category = "wym");
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_ns_;
+  bool active_;
+};
+
+}  // namespace wym::obs
+
+#define WYM_OBS_CONCAT_INNER(a, b) a##b
+#define WYM_OBS_CONCAT(a, b) WYM_OBS_CONCAT_INNER(a, b)
+/// Spans the rest of the enclosing scope.
+#define WYM_SPAN(name) \
+  ::wym::obs::SpanScope WYM_OBS_CONCAT(wym_span_, __LINE__)(name)
+
+#endif  // WYM_OBS_TRACE_H_

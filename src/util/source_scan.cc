@@ -229,6 +229,7 @@ std::string FormatFinding(const Finding& finding) {
 const std::vector<std::string>& AllCheckNames() {
   static const std::vector<std::string> kNames = {
       "no-rand",
+      "no-raw-clock",
       "unordered-iteration",
       "no-parallel-reduce",
       "kernel-bypass-accumulation",
@@ -277,9 +278,10 @@ void Emit(const FileCtx& ctx, size_t line_index, const char* check,
 // Determinism checks
 // --------------------------------------------------------------------------
 
-/// no-rand: unseeded randomness and wall-clock reads leak nondeterminism
-/// into models and explanations. util/ owns the sanctioned wrappers
-/// (wym::Rng, util::Stopwatch) and bench/ legitimately times things.
+/// no-rand: unseeded randomness leaks nondeterminism into models and
+/// explanations. util/ owns the sanctioned wrapper (wym::Rng) and
+/// bench/ legitimately randomizes workloads. Clock reads, previously
+/// folded into this check, now live in no-raw-clock below.
 void CheckNoRand(const FileCtx& ctx, std::vector<Finding>* out) {
   if (ctx.InDir("src/util/") || ctx.InDir("bench/")) return;
   for (size_t i = 0; i < ctx.lines.size(); ++i) {
@@ -293,23 +295,51 @@ void CheckNoRand(const FileCtx& ctx, std::vector<Finding>* out) {
       what = "std::random_device";
     } else if (HasCall(code, "time")) {
       what = "time()";
-    } else {
-      size_t p = code.find("::now");
-      while (p != std::string::npos) {
-        size_t e = p + 5;
-        while (e < code.size() && IsSpace(code[e])) ++e;
-        if (e < code.size() && code[e] == '(') {
-          what = "clock ::now()";
-          break;
-        }
-        p = code.find("::now", p + 1);
-      }
     }
     if (what != nullptr) {
       Emit(ctx, i, "no-rand",
            std::string(what) +
                " is nondeterministic; draw from a seeded wym::Rng "
                "(util/ and bench/ are exempt)",
+           out);
+    }
+  }
+}
+
+/// no-raw-clock: the tree has exactly one time source —
+/// util::Stopwatch, which obs::NowNanos() routes through. A direct
+/// std::chrono clock call anywhere else (including bench/ and tests/)
+/// fragments timing across clocks and bypasses the span/histogram
+/// plumbing; only src/util/ (the wrapper's home) is exempt.
+void CheckNoRawClock(const FileCtx& ctx, std::vector<Finding>* out) {
+  if (ctx.InDir("src/util/")) return;
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    const char* what = nullptr;
+    for (const char* clock :
+         {"steady_clock", "system_clock", "high_resolution_clock"}) {
+      if (HasWord(code, clock)) {
+        what = "a std::chrono clock type";
+        break;
+      }
+    }
+    if (what == nullptr) {
+      size_t p = code.find("::now");
+      while (p != std::string::npos) {
+        size_t e = p + 5;
+        while (e < code.size() && IsSpace(code[e])) ++e;
+        if (e < code.size() && code[e] == '(') {
+          what = "a clock ::now() call";
+          break;
+        }
+        p = code.find("::now", p + 1);
+      }
+    }
+    if (what != nullptr) {
+      Emit(ctx, i, "no-raw-clock",
+           std::string(what) +
+               " outside src/util/; read time through util::Stopwatch "
+               "or obs::NowNanos() so the tree keeps one time source",
            out);
     }
   }
@@ -892,6 +922,7 @@ std::vector<Finding> ScanSource(const std::string& path,
   std::vector<Finding> raw;
   std::vector<Suppression> suppressions = CollectSuppressions(ctx, &raw);
   CheckNoRand(ctx, &raw);
+  CheckNoRawClock(ctx, &raw);
   CheckUnorderedIteration(ctx, &raw);
   CheckNoParallelReduce(ctx, &raw);
   CheckKernelBypassAccumulation(ctx, &raw);

@@ -1,5 +1,7 @@
 #include "util/status.h"
 
+#include "obs/metrics.h"
+
 namespace wym {
 
 namespace {
@@ -23,6 +25,20 @@ const char* CodeName(Status::Code code) {
 }
 
 }  // namespace
+
+Status Status::IoError(std::string message) {
+  static obs::Counter& errors =
+      obs::Registry::Global().GetCounter("io.errors");
+  errors.Add(1);
+  return Status(Code::kIoError, std::move(message));
+}
+
+Status Status::Corruption(std::string message) {
+  static obs::Counter& detected =
+      obs::Registry::Global().GetCounter("io.corruption_detected");
+  detected.Add(1);
+  return Status(Code::kCorruption, std::move(message));
+}
 
 Status Status::Annotate(const std::string& context) const {
   if (ok()) return *this;

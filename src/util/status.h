@@ -40,12 +40,12 @@ class [[nodiscard]] Status {
   static Status NotFound(std::string message) {
     return Status(Code::kNotFound, std::move(message));
   }
-  static Status IoError(std::string message) {
-    return Status(Code::kIoError, std::move(message));
-  }
-  static Status Corruption(std::string message) {
-    return Status(Code::kCorruption, std::move(message));
-  }
+  /// IoError/Corruption are out of line (status.cc): every such status
+  /// construction bumps the obs counters `io.errors` /
+  /// `io.corruption_detected`, making the PR 4 failure paths countable
+  /// at one choke point instead of at each call site.
+  static Status IoError(std::string message);
+  static Status Corruption(std::string message);
   static Status FailedPrecondition(std::string message) {
     return Status(Code::kFailedPrecondition, std::move(message));
   }

@@ -2,19 +2,37 @@
 #define WYM_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 /// \file
-/// Wall-clock timing for the throughput experiments (paper §5.3).
+/// Wall-clock timing for the throughput experiments (paper §5.3) and the
+/// single sanctioned time source for the whole tree: every other
+/// subsystem (including `obs` spans and histograms, see obs/trace.h)
+/// reads time through a Stopwatch, never through std::chrono clocks
+/// directly — enforced by the wym-lint `no-raw-clock` check.
 
 namespace wym {
 
 /// Monotonic stopwatch; starts on construction.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  /// Restarts the clock.
-  void Reset() { start_ = Clock::now(); }
+  /// Restarts the clock (and the current lap).
+  void Reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
+
+  /// Elapsed nanoseconds since construction or the last Reset().
+  /// Integer nanoseconds are the unit of record for spans and latency
+  /// histograms; the floating-point accessors below derive from it.
+  std::uint64_t ElapsedNanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
   /// Elapsed seconds since construction or the last Reset().
   double ElapsedSeconds() const {
@@ -24,9 +42,26 @@ class Stopwatch {
   /// Elapsed milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Nanoseconds since the previous LapNanos()/LapSeconds() call (or
+  /// since construction / Reset() for the first lap), then starts the
+  /// next lap. Lap marks do not move start_, so ElapsedNanos() still
+  /// reports the total across all laps.
+  std::uint64_t LapNanos() {
+    const Clock::time_point now = Clock::now();
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - lap_)
+            .count());
+    lap_ = now;
+    return ns;
+  }
+
+  /// Seconds since the previous lap mark; see LapNanos().
+  double LapSeconds() { return static_cast<double>(LapNanos()) * 1e-9; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace wym

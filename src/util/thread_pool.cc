@@ -1,11 +1,43 @@
 #include "util/thread_pool.h"
 
 #include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wym::util {
 
 namespace {
 thread_local bool t_in_worker = false;
+
+// Pool metrics, resolved once. Mutators no-op when WYM_METRICS is off,
+// so the inline (size<=1) path pays one branch per Submit.
+obs::Counter& TasksSubmitted() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("pool.tasks_submitted");
+  return counter;
+}
+obs::Counter& TasksInline() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("pool.tasks_inline");
+  return counter;
+}
+obs::Gauge& QueueDepth() {
+  static obs::Gauge& gauge =
+      obs::Registry::Global().GetGauge("pool.queue_depth");
+  return gauge;
+}
+obs::Histogram& TaskWaitNs() {
+  static obs::Histogram& histogram =
+      obs::Registry::Global().GetHistogram("pool.task_wait_ns");
+  return histogram;
+}
+obs::Histogram& TaskRunNs() {
+  static obs::Histogram& histogram =
+      obs::Registry::Global().GetHistogram("pool.task_run_ns");
+  return histogram;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
@@ -27,20 +59,25 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
+    TasksInline().Add(1);
     task();
     return;
   }
+  TasksSubmitted().Add(1);
+  const std::uint64_t enqueue_ns =
+      obs::MetricsEnabled() ? obs::NowNanos() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), enqueue_ns});
   }
+  QueueDepth().Add(1);
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   t_in_worker = true;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -48,7 +85,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    QueueDepth().Add(-1);
+    const bool metrics = obs::MetricsEnabled();
+    const std::uint64_t start_ns = metrics ? obs::NowNanos() : 0;
+    if (metrics && task.enqueue_ns != 0 && start_ns >= task.enqueue_ns) {
+      TaskWaitNs().Record(start_ns - task.enqueue_ns);
+    }
+    {
+      obs::SpanScope span("pool.task");
+      task.fn();
+    }
+    if (metrics) TaskRunNs().Record(obs::NowNanos() - start_ns);
   }
 }
 

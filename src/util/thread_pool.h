@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -59,8 +60,16 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// A queued task plus the obs::NowNanos() timestamp of its Submit()
+  /// (0 when metrics are disabled), so the worker can account queue
+  /// wait in the `pool.task_wait_ns` histogram.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns;
+  };
+
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

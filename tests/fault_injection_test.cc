@@ -26,6 +26,7 @@
 #include "data/benchmark_gen.h"
 #include "data/csv.h"
 #include "data/split.h"
+#include "obs/metrics.h"
 #include "util/framed_file.h"
 #include "util/io.h"
 #include "util/status.h"
@@ -330,6 +331,71 @@ TEST_F(FaultInjectionTest, DegenerateRecordsAreQuarantinedNotFatal) {
   EXPECT_TRUE(explanations[1].units.empty());
   EXPECT_EQ(explanations[1].probability, 0.0);
   EXPECT_EQ(explanations[1].prediction, 0);
+}
+
+// ---------------------------------------------------------------------
+// Failure paths feed the obs metrics registry (DESIGN.md
+// "Observability"): every detected fault leaves an audit trail in a
+// counter, so production runs can alarm on nonzero deltas.
+// ---------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, CorruptionLoadIncrementsCounter) {
+  obs::Counter& corruption =
+      obs::Registry::Global().GetCounter("io.corruption_detected");
+  const std::uint64_t before = corruption.Value();
+
+  io::FaultInjector injector;
+  injector.FlipBit(suite_->clean_bytes.size() * 4);  // Mid-file payload.
+  io::ScopedFaultInjector scope(&injector);
+  const auto loaded = core::WymModel::LoadFromFile(suite_->path);
+  ASSERT_FALSE(loaded.ok());
+
+  EXPECT_GT(corruption.Value(), before)
+      << "corrupted load left io.corruption_detected untouched";
+}
+
+TEST_F(FaultInjectionTest, CsvQuarantineIncrementsCounter) {
+  obs::Counter& quarantined =
+      obs::Registry::Global().GetCounter("csv.rows_quarantined");
+  const std::uint64_t before = quarantined.Value();
+
+  // Two damaged rows in an otherwise healthy file.
+  std::string csv = data::DatasetToCsv(suite_->split.test);
+  csv += "torn,row\n";
+  csv += "\"unterminated quote\n";
+  data::CsvOptions options;
+  options.quarantine = true;
+  data::CsvReport report;
+  const auto parsed = data::DatasetFromCsv(csv, "poisoned.csv", options,
+                                           &report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_GE(report.rows_quarantined, 2u);
+
+  EXPECT_EQ(quarantined.Value() - before, report.rows_quarantined)
+      << "csv.rows_quarantined must track CsvReport exactly";
+}
+
+TEST_F(FaultInjectionTest, PredictQuarantineIncrementsCounter) {
+  obs::Counter& quarantined =
+      obs::Registry::Global().GetCounter("predict.records_quarantined");
+  obs::Counter& records =
+      obs::Registry::Global().GetCounter("predict.records");
+  const std::uint64_t quarantined_before = quarantined.Value();
+  const std::uint64_t records_before = records.Value();
+
+  data::Dataset poisoned = suite_->split.test;
+  data::EmRecord degenerate;
+  degenerate.label = 0;
+  degenerate.left.values.assign(poisoned.schema.size(), "");
+  degenerate.right.values.assign(poisoned.schema.size(), "");
+  poisoned.records.push_back(degenerate);
+
+  core::PredictionReport report;
+  (void)suite_->model.PredictProbaBatch(poisoned, &report);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+
+  EXPECT_EQ(quarantined.Value() - quarantined_before, 1u);
+  EXPECT_EQ(records.Value() - records_before, poisoned.size());
 }
 
 TEST_F(FaultInjectionTest, CleanDatasetReportsClean) {

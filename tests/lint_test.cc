@@ -125,19 +125,61 @@ TEST(NoRandCheckTest, FiresOnRandOutsideUtilAndBench) {
   EXPECT_FALSE(HasCheck(Scan("bench/x.cc", snippet), "no-rand"));
 }
 
-TEST(NoRandCheckTest, FiresOnTimeAndClockNowButNotLookalikes) {
+TEST(NoRandCheckTest, FiresOnTimeButNotLookalikes) {
   EXPECT_TRUE(
       HasCheck(Scan("src/a.cc", "long t() { return time(nullptr); }\n"),
                "no-rand"));
-  EXPECT_TRUE(HasCheck(
-      Scan("src/a.cc", "auto t = std::chrono::steady_clock::now();\n"),
-      "no-rand"));
   EXPECT_TRUE(HasCheck(Scan("src/a.cc", "std::random_device rd;\n"),
                        "no-rand"));
+  // Clock reads moved to the no-raw-clock check.
+  EXPECT_FALSE(HasCheck(
+      Scan("src/a.cc", "auto t = std::chrono::steady_clock::now();\n"),
+      "no-rand"));
   // Identifiers merely containing the banned substrings do not fire.
   EXPECT_FALSE(HasCheck(
       Scan("src/a.cc", "double r = Runtime(x); int b = brand; h = now;\n"),
       "no-rand"));
+}
+
+TEST(NoRawClockCheckTest, FiresOnClockTypesAndNowCallsOutsideUtil) {
+  const std::string now_call =
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(HasCheck(Scan("src/core/x.cc", now_call), "no-raw-clock"));
+  // Unlike no-rand, bench/ and tests/ are NOT exempt: all timing goes
+  // through Stopwatch/obs.
+  EXPECT_TRUE(HasCheck(Scan("bench/x.cc", now_call), "no-raw-clock"));
+  EXPECT_TRUE(HasCheck(Scan("tests/x.cc", now_call), "no-raw-clock"));
+  EXPECT_FALSE(HasCheck(Scan("src/util/stopwatch.h", now_call),
+                        "no-raw-clock"));
+  // A clock type mention without ::now (aliasing it for later use) is
+  // still a raw clock acquisition.
+  EXPECT_TRUE(HasCheck(
+      Scan("src/a.cc", "using Clock = std::chrono::high_resolution_clock;\n"),
+      "no-raw-clock"));
+  EXPECT_TRUE(HasCheck(
+      Scan("src/a.cc", "std::chrono::system_clock::time_point deadline;\n"),
+      "no-raw-clock"));
+}
+
+TEST(NoRawClockCheckTest, DurationsAndLookalikesAreQuiet) {
+  // chrono durations (sleep_for etc.) are not clock reads.
+  EXPECT_FALSE(HasCheck(
+      Scan("src/a.cc",
+           "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"),
+      "no-raw-clock"));
+  EXPECT_FALSE(HasCheck(
+      Scan("src/a.cc", "int my_steady_clock_count = 0; h = now;\n"),
+      "no-raw-clock"));
+}
+
+TEST(NoRawClockCheckTest, SuppressionWithReasonIsHonored) {
+  const std::string snippet =
+      "// wym-lint: allow(no-raw-clock): interop with external API wanting a time_point\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  ScanStats stats;
+  EXPECT_FALSE(HasCheck(Scan("src/core/x.cc", snippet, &stats),
+                        "no-raw-clock"));
+  EXPECT_EQ(stats.suppressions_honored, 1u);
 }
 
 TEST(NoRandCheckTest, CommentedAndQuotedPatternsDoNotFire) {

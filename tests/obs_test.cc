@@ -1,0 +1,452 @@
+// Tests for the observability layer (src/obs): metrics registry,
+// span tracing + trace_event export, the bundled JSON parser and the
+// report validators — plus the non-perturbation contract: tracing a
+// run must not change a single output byte.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/wym.h"
+#include "data/benchmark_gen.h"
+#include "data/split.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace wym;
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---------------------------------------------------------------------
+// Counters / gauges / histograms
+// ---------------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsMergeToExactTotal) {
+  // WYM_METRICS defaults to on; the suite depends on that.
+  ASSERT_TRUE(obs::MetricsEnabled());
+
+  obs::Counter& counter =
+      obs::Registry::Global().GetCounter("test.concurrent_increments");
+  counter.Reset();
+
+  util::ThreadPool pool(4);
+  constexpr size_t kIterations = 200000;
+  util::ParallelFor(
+      kIterations, 1000,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) counter.Add(1);
+      },
+      &pool);
+  EXPECT_EQ(counter.Value(), kIterations);
+
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, AddWithDeltaAccumulates) {
+  obs::Counter& counter = obs::Registry::Global().GetCounter("test.delta");
+  counter.Reset();
+  counter.Add(7);
+  counter.Add(35);
+  counter.Add();  // Default delta 1.
+  EXPECT_EQ(counter.Value(), 43u);
+}
+
+TEST(GaugeTest, TracksValueAndHighWaterMark) {
+  obs::Gauge& gauge = obs::Registry::Global().GetGauge("test.gauge");
+  gauge.Reset();
+  gauge.Add(3);
+  gauge.Add(5);
+  gauge.Add(-6);
+  EXPECT_EQ(gauge.Value(), 2);
+  EXPECT_EQ(gauge.Max(), 8);
+  gauge.Set(1);
+  EXPECT_EQ(gauge.Value(), 1);
+  EXPECT_EQ(gauge.Max(), 8);  // Max never decreases.
+}
+
+TEST(HistogramTest, CountSumAndPercentiles) {
+  obs::Histogram& hist =
+      obs::Registry::Global().GetHistogram("test.histogram");
+  hist.Reset();
+  // 100 samples of 100ns, 10 of ~100us: p50 lands in the bucket
+  // holding 100 ([64, 127]), p95 likewise, p99+ in the big bucket.
+  for (int i = 0; i < 100; ++i) hist.Record(100);
+  for (int i = 0; i < 10; ++i) hist.Record(100000);
+
+  const obs::HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 110u);
+  EXPECT_EQ(snap.sum, 100u * 100u + 10u * 100000u);
+  EXPECT_NEAR(snap.Mean(), static_cast<double>(snap.sum) / 110.0, 1e-9);
+
+  const double p50 = snap.Percentile(0.50);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 127.0);
+  const double p99 = snap.Percentile(0.99);
+  EXPECT_GE(p99, 65536.0);
+  EXPECT_LE(p99, 131071.0);
+
+  // Degenerate inputs.
+  EXPECT_EQ(obs::HistogramSnapshot{}.Percentile(0.5), 0.0);
+  EXPECT_EQ(obs::HistogramSnapshot{}.Mean(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(1), 3u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(9), 1023u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsMergeToExactCount) {
+  obs::Histogram& hist =
+      obs::Registry::Global().GetHistogram("test.histogram_concurrent");
+  hist.Reset();
+  util::ThreadPool pool(4);
+  constexpr size_t kSamples = 50000;
+  util::ParallelFor(
+      kSamples, 500,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) hist.Record(i % 1024);
+      },
+      &pool);
+  EXPECT_EQ(hist.Snapshot().count, kSamples);
+}
+
+TEST(RegistryTest, SnapshotIsNameSortedAndResetKeepsReferences) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter& b = registry.GetCounter("test.sorted.b");
+  obs::Counter& a = registry.GetCounter("test.sorted.a");
+  b.Reset();
+  a.Reset();
+  a.Add(1);
+  b.Add(2);
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+
+  // Same name returns the same metric.
+  EXPECT_EQ(&registry.GetCounter("test.sorted.a"), &a);
+
+  registry.ResetForTest();
+  EXPECT_EQ(a.Value(), 0u);  // Reference survived, value zeroed.
+  a.Add(5);
+  EXPECT_EQ(a.Value(), 5u);
+}
+
+TEST(RegistryTest, MetricsToJsonRoundTripsThroughOwnParser) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("test.json.counter").Reset();
+  registry.GetCounter("test.json.counter").Add(9);
+  registry.GetGauge("test.json.gauge").Set(4);
+  registry.GetHistogram("test.json.hist").Record(1000);
+
+  const std::string json = obs::MetricsToJson(registry.Snapshot());
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(json, &root, &error)) << error;
+  ASSERT_TRUE(root.IsObject());
+
+  const obs::JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* counter = counters->Find("test.json.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->number, 9.0);
+
+  const obs::JsonValue* hists = root.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::JsonValue* hist = hists->Find("test.json.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_NE(hist->Find("p50_ns"), nullptr);
+  EXPECT_NE(hist->Find("p95_ns"), nullptr);
+}
+
+TEST(RegistryTest, RenderMetricsMentionsEveryMetric) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("test.render.counter").Add(1);
+  const std::string text = obs::RenderMetrics(registry.Snapshot());
+  EXPECT_NE(text.find("test.render.counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------
+
+TEST(JsonParserTest, ParsesScalarsContainersAndEscapes) {
+  obs::JsonValue v;
+  std::string error;
+
+  ASSERT_TRUE(obs::ParseJson("{\"a\":[1,2.5,-3e2],\"b\":{\"c\":true},"
+                             "\"d\":null,\"e\":\"x\\n\\\"y\\u0041\"}",
+                             &v, &error))
+      << error;
+  ASSERT_TRUE(v.IsObject());
+  const obs::JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->IsArray());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[1].number, 2.5);
+  EXPECT_EQ(a->array[2].number, -300.0);
+  EXPECT_TRUE(v.Find("b")->Find("c")->boolean);
+  EXPECT_TRUE(v.Find("d")->IsNull());
+  EXPECT_EQ(v.Find("e")->string, "x\n\"yA");
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  obs::JsonValue v;
+  std::string error;
+  const char* kBad[] = {
+      "",                      // Empty.
+      "{",                     // Unbalanced.
+      "{\"a\":1,}",            // Trailing comma.
+      "{a:1}",                 // Unquoted key.
+      "[1 2]",                 // Missing comma.
+      "\"\\x\"",               // Bad escape.
+      "{\"a\":1} trailing",    // Garbage after the value.
+      "nul",                   // Truncated literal.
+  };
+  for (const char* text : kBad) {
+    error.clear();
+    EXPECT_FALSE(obs::ParseJson(text, &v, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(JsonParserTest, RejectsPathologicalNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  obs::JsonValue v;
+  std::string error;
+  EXPECT_FALSE(obs::ParseJson(deep, &v, &error));
+}
+
+// ---------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------
+
+TEST(TraceTest, NowNanosIsMonotonic) {
+  const std::uint64_t a = obs::NowNanos();
+  const std::uint64_t b = obs::NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(TraceTest, SpansProduceValidTraceEventJson) {
+  const std::string path = "/tmp/wym_obs_test_trace.json";
+  std::remove(path.c_str());
+
+  obs::StartTracing(path);
+  ASSERT_TRUE(obs::TracingActive());
+  {
+    obs::SpanScope outer("test.outer");
+    { WYM_SPAN("test.inner"); }
+  }
+  // Spans from pool workers land in per-thread buffers.
+  util::ThreadPool pool(2);
+  util::ParallelFor(
+      8, 1,
+      [](size_t, size_t, size_t) { obs::SpanScope span("test.pool_chunk"); },
+      &pool);
+  const std::uint64_t start = obs::NowNanos();
+  obs::AppendCompleteEvent("test.manual", "test", start, 42);
+
+  std::string error;
+  ASSERT_TRUE(obs::StopTracingAndWrite(&error)) << error;
+  EXPECT_FALSE(obs::TracingActive());
+
+  const std::string text = ReadFileBytes(path);
+  ASSERT_TRUE(obs::ValidateTraceJson(text, &error)) << error;
+
+  // The tree contains our spans, with the nesting visible in ts/dur.
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::ParseJson(text, &root, &error)) << error;
+  const obs::JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const obs::JsonValue* outer = nullptr;
+  const obs::JsonValue* inner = nullptr;
+  size_t pool_chunks = 0;
+  for (const obs::JsonValue& event : events->array) {
+    const std::string& name = event.Find("name")->string;
+    if (name == "test.outer") outer = &event;
+    if (name == "test.inner") inner = &event;
+    if (name == "test.pool_chunk") ++pool_chunks;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(pool_chunks, 8u);
+  const double outer_ts = outer->Find("ts")->number;
+  const double outer_end = outer_ts + outer->Find("dur")->number;
+  const double inner_ts = inner->Find("ts")->number;
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner->Find("dur")->number, outer_end + 1e-3);
+
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, StopWithoutStartFailsCleanly) {
+  ASSERT_FALSE(obs::TracingActive());
+  std::string error;
+  EXPECT_FALSE(obs::StopTracingAndWrite(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceTest, SpansAreFreeWhenInactive) {
+  ASSERT_FALSE(obs::TracingActive());
+  // Just exercise the disabled path; nothing to assert beyond "no
+  // crash, no activation".
+  for (int i = 0; i < 1000; ++i) {
+    obs::SpanScope span("test.disabled");
+  }
+  EXPECT_FALSE(obs::TracingActive());
+}
+
+// ---------------------------------------------------------------------
+// Validators
+// ---------------------------------------------------------------------
+
+TEST(ValidatorTest, AcceptsMinimalBenchReport) {
+  const std::string report =
+      "{\"schema\":\"wym-bench-report/v1\",\"bench\":\"t\",\"scale\":1,"
+      "\"seed\":42,\"benchmarks\":[{\"name\":\"BM_X\",\"time_ns\":12.5,"
+      "\"iterations\":100}],\"stages\":[],\"rates\":[],"
+      "\"metrics\":{\"counters\":{},\"gauges\":{},\"histograms\":{}}}";
+  std::string error;
+  EXPECT_TRUE(obs::ValidateBenchReportJson(report, &error)) << error;
+}
+
+TEST(ValidatorTest, RejectsBadBenchReports) {
+  std::string error;
+  // Wrong schema marker.
+  EXPECT_FALSE(obs::ValidateBenchReportJson(
+      "{\"schema\":\"other/v9\",\"bench\":\"t\",\"benchmarks\":[],"
+      "\"metrics\":{\"counters\":{},\"gauges\":{},\"histograms\":{}}}",
+      &error));
+  // Missing metrics.
+  EXPECT_FALSE(obs::ValidateBenchReportJson(
+      "{\"schema\":\"wym-bench-report/v1\",\"bench\":\"t\","
+      "\"benchmarks\":[]}",
+      &error));
+  // Not JSON at all.
+  EXPECT_FALSE(obs::ValidateBenchReportJson("not json", &error));
+}
+
+TEST(ValidatorTest, RejectsBadTraces) {
+  std::string error;
+  // traceEvents must be an array...
+  EXPECT_FALSE(obs::ValidateTraceJson("{\"traceEvents\":1}", &error));
+  // ...of complete events with the required members.
+  EXPECT_FALSE(obs::ValidateTraceJson(
+      "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\"}]}", &error));
+  EXPECT_FALSE(obs::ValidateTraceJson("[]", &error));
+}
+
+// ---------------------------------------------------------------------
+// Stopwatch (the span clock)
+// ---------------------------------------------------------------------
+
+TEST(StopwatchTest, ElapsedNanosAndLapsAreConsistent) {
+  Stopwatch watch;
+  const std::uint64_t lap1 = watch.LapNanos();
+  const std::uint64_t lap2 = watch.LapNanos();
+  const std::uint64_t total = watch.ElapsedNanos();
+  // Laps partition the elapsed time: their sum cannot exceed a total
+  // read after both.
+  EXPECT_LE(lap1 + lap2, total);
+  // Elapsed* accessors agree on the unit of record.
+  const double seconds = watch.ElapsedSeconds();
+  EXPECT_GE(seconds, static_cast<double>(total) * 1e-9);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedNanos(), 1000000000ull);  // Fresh epoch.
+}
+
+// ---------------------------------------------------------------------
+// Non-perturbation: tracing must not change any output byte.
+// ---------------------------------------------------------------------
+
+TEST(NonPerturbationTest, TracedRunIsByteIdenticalToUntracedRun) {
+  const data::Dataset dataset = data::GenerateById("S-FZ", 42, 0.2);
+  const data::Split split = data::DefaultSplit(dataset, 42);
+
+  // Untraced run.
+  ASSERT_FALSE(obs::TracingActive());
+  core::WymModel plain;
+  plain.Fit(split.train, split.validation);
+  const std::vector<double> plain_probs =
+      plain.PredictProbaBatch(split.test, static_cast<util::ThreadPool*>(nullptr));
+  const std::string plain_path = "/tmp/wym_obs_plain.bin";
+  ASSERT_TRUE(plain.SaveToFile(plain_path).ok());
+
+  // Same run with tracing on.
+  const std::string trace_path = "/tmp/wym_obs_identity_trace.json";
+  obs::StartTracing(trace_path);
+  core::WymModel traced;
+  traced.Fit(split.train, split.validation);
+  const std::vector<double> traced_probs =
+      traced.PredictProbaBatch(split.test, static_cast<util::ThreadPool*>(nullptr));
+  const std::string traced_model_path = "/tmp/wym_obs_traced.bin";
+  ASSERT_TRUE(traced.SaveToFile(traced_model_path).ok());
+  std::string error;
+  ASSERT_TRUE(obs::StopTracingAndWrite(&error)) << error;
+
+  // Bit-identical predictions and model bytes.
+  ASSERT_EQ(plain_probs.size(), traced_probs.size());
+  for (size_t i = 0; i < plain_probs.size(); ++i) {
+    EXPECT_EQ(plain_probs[i], traced_probs[i]) << "record " << i;
+  }
+  EXPECT_EQ(ReadFileBytes(plain_path), ReadFileBytes(traced_model_path));
+
+  // And the trace itself is a valid, non-trivial artifact: the Fit
+  // stages and batch-predict spans must be present.
+  const std::string trace = ReadFileBytes(trace_path);
+  ASSERT_TRUE(obs::ValidateTraceJson(trace, &error)) << error;
+  EXPECT_NE(trace.find("\"fit\""), std::string::npos);
+  EXPECT_NE(trace.find("fit.unit_generation"), std::string::npos);
+  EXPECT_NE(trace.find("predict.batch"), std::string::npos);
+
+  std::remove(plain_path.c_str());
+  std::remove(traced_model_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+// Pipeline counters observed through a real run: Fit + predict
+// populate the stage counters the DESIGN.md inventory promises.
+TEST(PipelineCountersTest, FitAndPredictPopulateCounters) {
+  obs::Registry& registry = obs::Registry::Global();
+  const std::uint64_t fit_before =
+      registry.GetCounter("fit.records").Value();
+  const std::uint64_t predict_before =
+      registry.GetCounter("predict.records").Value();
+
+  const data::Dataset dataset = data::GenerateById("S-FZ", 7, 0.15);
+  const data::Split split = data::DefaultSplit(dataset, 7);
+  core::WymModel model;
+  model.Fit(split.train, split.validation);
+  (void)model.PredictProbaBatch(split.test, static_cast<util::ThreadPool*>(nullptr));
+
+  EXPECT_EQ(registry.GetCounter("fit.records").Value() - fit_before,
+            split.train.size());
+  EXPECT_EQ(registry.GetCounter("predict.records").Value() - predict_before,
+            split.test.size());
+  // The batch path also records per-record latencies.
+  EXPECT_GE(registry.GetHistogram("predict.record_ns").Snapshot().count,
+            split.test.size());
+}
+
+}  // namespace

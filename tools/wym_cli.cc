@@ -11,10 +11,14 @@
 //                     [--model model.wym | ... same model flags]
 //   wym_cli stats     --data /tmp/swa.csv [--model model.wym]
 //                     # global attribution report (attribute influence +
-//                     # recurring decision units)
+//                     # recurring decision units) followed by a dump of
+//                     # the obs metrics registry for the run
 //   wym_cli profile   --data /tmp/swa.csv   # dataset quality profile
 //   wym_cli verify    --model model.wym
 //                     # check the file's frames/CRCs without loading it
+//   wym_cli validate-report --file BENCH_micro.json
+//                     # schema-check a --json perf report or a WYM_TRACE
+//                     # trace file (auto-detected by content)
 //   wym_cli list      # available benchmark dataset ids
 //
 // train-eval / explain apply the paper's 60-20-20 split internally.
@@ -25,7 +29,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +44,8 @@
 #include "explain/global.h"
 #include "explain/report.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -109,7 +117,8 @@ class Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: wym_cli <generate|train-eval|explain|stats|profile|verify|list> [flags]\n"
+               "usage: wym_cli <generate|train-eval|explain|stats|profile|"
+               "verify|validate-report|list> [flags]\n"
                "see the header of tools/wym_cli.cc for the flag list\n");
   return kExitUsage;
 }
@@ -278,6 +287,40 @@ int CmdVerify(const Args& args) {
   return kExitOk;
 }
 
+/// `validate-report`: schema-check a machine-readable perf artifact.
+/// Trace files (WYM_TRACE output, Chrome trace_event JSON) are told
+/// apart from bench reports (wym-bench-report/v1) by content. Exit 0 =
+/// valid, 3 = structurally invalid, 2 = unreadable.
+int CmdValidateReport(const Args& args) {
+  const std::string path = args.Get("file");
+  if (path.empty()) {
+    std::fprintf(stderr, "--file <json> is required\n");
+    return kExitUsage;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return kExitIo;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const bool is_trace = text.find("\"traceEvents\"") != std::string::npos;
+  std::string error;
+  const bool valid = is_trace ? obs::ValidateTraceJson(text, &error)
+                              : obs::ValidateBenchReportJson(text, &error);
+  if (!valid) {
+    std::fprintf(stderr, "%s: invalid %s: %s\n", path.c_str(),
+                 is_trace ? "trace" : "bench report", error.c_str());
+    return kExitCorruption;
+  }
+  std::printf("%s: valid %s\n", path.c_str(),
+              is_trace ? "trace (trace_event JSON)"
+                       : "bench report (wym-bench-report/v1)");
+  return kExitOk;
+}
+
 }  // namespace
 
 int CmdProfile(const Args& args) {
@@ -303,6 +346,10 @@ int CmdStats(const Args& args) {
       explain::ComputeGlobalAttribution(model, split.test);
   std::printf("%s", explain::RenderGlobalAttribution(report,
                                                      dataset.schema).c_str());
+  // Pipeline metrics accumulated during this run (fit + attribution):
+  // counters, gauges and latency histograms from the obs registry.
+  std::printf("\n%s",
+              obs::RenderMetrics(obs::Registry::Global().Snapshot()).c_str());
   return 0;
 }
 
@@ -317,5 +364,6 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(args);
   if (command == "profile") return CmdProfile(args);
   if (command == "verify") return CmdVerify(args);
+  if (command == "validate-report") return CmdValidateReport(args);
   return Usage();
 }
