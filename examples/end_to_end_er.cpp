@@ -1,14 +1,15 @@
 // End-to-end entity resolution from raw tables: the full deployment
 // pipeline upstream of the paper's setting. Two product feeds (noisy
-// views of one catalog) are blocked into candidate pairs, WYM is trained
-// on a labelled sample of candidates, and the remaining candidates are
-// resolved with explanations.
+// views of one catalog) are streamed through the candidate-generation
+// tier, WYM is trained on a labelled sample of candidates, and the two
+// tables are then matched end to end with blocking::MatchTables.
 //
 // Run: ./build/examples/end_to_end_er
 
 #include <cstdio>
 
 #include "blocking/blocker.h"
+#include "blocking/candidate_stream.h"
 #include "core/wym.h"
 #include "data/catalog.h"
 #include "data/corruption.h"
@@ -50,24 +51,22 @@ int main() {
   std::printf("source A: %zu rows, source B: %zu rows\n", source_a.size(),
               source_b.size());
 
-  // 2. Blocking: token candidates plus dense candidates for the typo'd
-  //    rows the token index misses.
-  const blocking::TokenBlocker token_blocker;
-  const auto token_candidates = token_blocker.Candidates(source_a, source_b);
-
+  // 2. Candidate generation: one CandidateStream covers the token index
+  //    (with exact-duplicate short-circuit) plus the embedding-LSH
+  //    stage for the typo'd rows the token index misses.
   embedding::SemanticEncoderOptions encoder_options;
   encoder_options.mode = embedding::EncoderMode::kPretrained;
   embedding::SemanticEncoder encoder(encoder_options);
   encoder.Fit({});
-  const blocking::EmbeddingBlocker dense_blocker(&encoder);
-  const auto dense_candidates = dense_blocker.Candidates(source_a, source_b);
 
-  const auto candidates =
-      blocking::MergeCandidates(token_candidates, dense_candidates);
+  blocking::CandidateStreamOptions stream_options;
+  stream_options.encoder = &encoder;
+  blocking::CandidateStream stream(source_a, source_b, stream_options);
+  const auto candidates = stream.Drain();
   std::printf(
-      "blocking: %zu token + %zu dense -> %zu merged candidates "
+      "blocking: %zu streamed candidates "
       "(%.1f%% of the %zu x %zu cross product), recall %.3f\n",
-      token_candidates.size(), dense_candidates.size(), candidates.size(),
+      candidates.size(),
       100.0 * static_cast<double>(candidates.size()) /
           static_cast<double>(source_a.size() * source_b.size()),
       source_a.size(), source_b.size(),
@@ -89,7 +88,24 @@ int main() {
   std::printf("matcher test F1 on candidates: %.3f (classifier: %s)\n", f1,
               model.matcher().best_name().c_str());
 
-  // 4. Resolve + explain one prediction.
+  // 4. Match the two raw tables end to end: candidate chunks stream
+  //    straight into the trained model in bounded batches.
+  blocking::MatchTablesStats stats;
+  const auto matches =
+      blocking::MatchTables(model, source_a, source_b, {}, nullptr, &stats);
+  size_t correct = 0;
+  for (const auto& m : matches) {
+    correct += identity_a[m.left_row] == identity_b[m.right_row] ? 1 : 0;
+  }
+  std::printf(
+      "MatchTables: %zu candidates scored -> %zu matches, %.1f%% correct "
+      "under ground truth\n",
+      stats.candidates_scored, matches.size(),
+      matches.empty() ? 0.0
+                      : 100.0 * static_cast<double>(correct) /
+                            static_cast<double>(matches.size()));
+
+  // 5. Resolve + explain one prediction.
   const core::Explanation explanation =
       model.Explain(split.test.records.front());
   std::printf("\nexample resolution: %s (p=%.2f); top units:\n",

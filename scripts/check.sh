@@ -54,9 +54,10 @@ run_config asan-ubsan -DWYM_SANITIZE=address,undefined
 # Debug invariant tier: WYM_DCHECK bounds/dimension/NaN checks live.
 run_config debug-checks -DWYM_DEBUG_CHECKS=ON
 
-# Perf report: bench_micro --json must emit a schema-valid
-# wym-bench-report/v1 file (the BENCH_*.json trajectory). Reuses the
-# release tree; a short benchmark subset keeps the step fast.
+# Perf report: bench_micro --json and bench_blocking --json must emit
+# schema-valid wym-bench-report/v1 files (the BENCH_*.json trajectory).
+# Reuses the release tree; a short benchmark subset and a small blocking
+# table keep the step fast.
 run_perf_report() {
   name=perf-report
   if [ "$ONLY" != all ] && [ "$ONLY" != "$name" ]; then
@@ -65,14 +66,20 @@ run_perf_report() {
   build="$ROOT/build-check-release"
   log="$build-perf-report.log"
   report="$build/BENCH_micro.json"
-  echo "==> [$name] bench_micro --json + schema validation"
+  blocking_report="$build/BENCH_blocking.json"
+  echo "==> [$name] bench_micro/bench_blocking --json + schema validation"
   if cmake -B "$build" -S "$ROOT" > "$log" 2>&1 \
-     && cmake --build "$build" -j "$JOBS" --target bench_micro wym_cli \
-        >> "$log" 2>&1 \
+     && cmake --build "$build" -j "$JOBS" \
+        --target bench_micro bench_blocking wym_cli >> "$log" 2>&1 \
      && "$build/bench/bench_micro" --json="$report" \
         --benchmark_filter='BM_Dot|BM_UnitGeneration_Cached' \
         --benchmark_min_time=0.01 >> "$log" 2>&1 \
      && "$build/tools/wym_cli" validate-report --file "$report" \
+        >> "$log" 2>&1 \
+     && WYM_BLOCK_ROWS=500 WYM_BLOCK_BASELINE_ROWS=100 \
+        "$build/bench/bench_blocking" --json="$blocking_report" \
+        >> "$log" 2>&1 \
+     && "$build/tools/wym_cli" validate-report --file "$blocking_report" \
         >> "$log" 2>&1
   then
     SUMMARY="$SUMMARY

@@ -3,86 +3,28 @@
 #include <algorithm>
 #include <map>
 #include <set>
-#include <unordered_map>
+#include <utility>
 
-#include "la/vector_ops.h"
+#include "blocking/candidate_stream.h"
+#include "blocking/lsh.h"
 #include "util/logging.h"
 
 namespace wym::blocking {
 
-namespace {
-
-std::set<std::string> RowTokens(const data::Entity& row,
-                                const text::Tokenizer& tokenizer) {
-  std::set<std::string> tokens;
-  for (const auto& value : row.values) {
-    for (auto& token : tokenizer.Tokenize(value)) {
-      tokens.insert(std::move(token));
-    }
-  }
-  return tokens;
-}
-
-}  // namespace
-
 TokenBlocker::TokenBlocker(Options options) : options_(options) {}
 
 std::vector<CandidatePair> TokenBlocker::Candidates(
-    const EntityTable& left, const EntityTable& right) const {
-  WYM_CHECK(left.schema == right.schema) << "schema mismatch in blocker";
-
-  // Token sets + inverted index over the right table.
-  std::vector<std::set<std::string>> right_tokens(right.size());
-  std::unordered_map<std::string, std::vector<size_t>> index;
-  for (size_t r = 0; r < right.size(); ++r) {
-    right_tokens[r] = RowTokens(right.rows[r], tokenizer_);
-    for (const auto& token : right_tokens[r]) {
-      index[token].push_back(r);
-    }
-  }
-  const size_t stop_count = static_cast<size_t>(
-      options_.max_token_frequency * static_cast<double>(right.size()));
-
-  std::vector<CandidatePair> out;
-  std::unordered_map<size_t, size_t> shared_counts;
-  for (size_t l = 0; l < left.size(); ++l) {
-    const std::set<std::string> tokens = RowTokens(left.rows[l], tokenizer_);
-    shared_counts.clear();
-    for (const auto& token : tokens) {
-      auto it = index.find(token);
-      if (it == index.end()) continue;
-      if (stop_count > 0 && it->second.size() > stop_count) continue;
-      for (size_t r : it->second) ++shared_counts[r];
-    }
-
-    std::vector<CandidatePair> row_candidates;
-    for (const auto& [r, shared] : shared_counts) {
-      if (shared < options_.min_shared_tokens) continue;
-      // Exact shared count over the *full* token sets for Jaccard (the
-      // probe above skipped stop tokens).
-      size_t full_shared = 0;
-      for (const auto& token : tokens) full_shared += right_tokens[r].count(token);
-      const size_t unioned =
-          tokens.size() + right_tokens[r].size() - full_shared;
-      const double jaccard =
-          unioned == 0 ? 0.0
-                       : static_cast<double>(full_shared) /
-                             static_cast<double>(unioned);
-      if (jaccard < options_.min_jaccard) continue;
-      row_candidates.push_back({l, r, jaccard});
-    }
-    std::sort(row_candidates.begin(), row_candidates.end(),
-              [](const CandidatePair& a, const CandidatePair& b) {
-                if (a.score != b.score) return a.score > b.score;
-                return a.right_row < b.right_row;
-              });
-    if (options_.max_candidates_per_row > 0 &&
-        row_candidates.size() > options_.max_candidates_per_row) {
-      row_candidates.resize(options_.max_candidates_per_row);
-    }
-    out.insert(out.end(), row_candidates.begin(), row_candidates.end());
-  }
-  return out;
+    const EntityTable& left, const EntityTable& right,
+    util::ThreadPool* pool) const {
+  CandidateStreamOptions options;
+  options.token = options_;
+  options.encoder = nullptr;  // Token stage only.
+  // The short-circuit changes scores for exact duplicates (1.0 instead
+  // of Jaccard 1.0 — identical) but also bypasses max_candidates_per_row
+  // semantics; keep the classic contract here.
+  options.exact_short_circuit = false;
+  CandidateStream stream(left, right, options, pool);
+  return stream.Drain();
 }
 
 EmbeddingBlocker::EmbeddingBlocker(const embedding::SemanticEncoder* encoder,
@@ -92,46 +34,21 @@ EmbeddingBlocker::EmbeddingBlocker(const embedding::SemanticEncoder* encoder,
 }
 
 std::vector<CandidatePair> EmbeddingBlocker::Candidates(
-    const EntityTable& left, const EntityTable& right) const {
+    const EntityTable& left, const EntityTable& right,
+    util::ThreadPool* pool) const {
   WYM_CHECK(encoder_->fitted()) << "encoder must be fitted before blocking";
 
-  auto pool_row = [&](const data::Entity& row) {
-    std::vector<std::string> tokens;
-    for (const auto& value : row.values) {
-      for (auto& token : tokenizer_.Tokenize(value)) {
-        tokens.push_back(std::move(token));
-      }
-    }
-    if (tokens.empty()) return la::Vec();
-    return embedding::SemanticEncoder::PoolTokens(
-        encoder_->EncodeTokens(tokens));
-  };
-
-  std::vector<la::Vec> right_pool(right.size());
-  for (size_t r = 0; r < right.size(); ++r) {
-    right_pool[r] = pool_row(right.rows[r]);
-  }
+  EmbeddingLshOptions lsh_options;
+  lsh_options.k = options_.k;
+  lsh_options.min_cosine = options_.min_cosine;
+  EmbeddingLsh lsh(encoder_, lsh_options);
+  lsh.Build(right, tokenizer_, pool);
 
   std::vector<CandidatePair> out;
   for (size_t l = 0; l < left.size(); ++l) {
-    const la::Vec pooled = pool_row(left.rows[l]);
+    const la::Vec pooled = lsh.PoolRow(left.rows[l], tokenizer_);
     if (pooled.empty()) continue;
-    std::vector<CandidatePair> row_candidates;
-    for (size_t r = 0; r < right.size(); ++r) {
-      if (right_pool[r].empty()) continue;
-      const double cosine = la::Cosine(pooled, right_pool[r]);
-      if (cosine < options_.min_cosine) continue;
-      row_candidates.push_back({l, r, cosine});
-    }
-    std::sort(row_candidates.begin(), row_candidates.end(),
-              [](const CandidatePair& a, const CandidatePair& b) {
-                if (a.score != b.score) return a.score > b.score;
-                return a.right_row < b.right_row;
-              });
-    if (row_candidates.size() > options_.k) {
-      row_candidates.resize(options_.k);
-    }
-    out.insert(out.end(), row_candidates.begin(), row_candidates.end());
+    lsh.Probe(l, pooled, &out);
   }
   return out;
 }

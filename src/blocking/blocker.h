@@ -7,6 +7,7 @@
 #include "data/record.h"
 #include "embedding/semantic_encoder.h"
 #include "text/tokenizer.h"
+#include "util/thread_pool.h"
 
 /// \file
 /// Candidate generation (blocking): the step upstream of matching in a
@@ -15,6 +16,10 @@
 /// pairs — so this module closes the loop for users who start from two
 /// raw entity tables instead of a pre-paired dataset (see
 /// examples/end_to_end_er.cpp).
+///
+/// The blockers here are the batch convenience layer; large tables
+/// should use the streaming tier in candidate_stream.h, which these
+/// classes delegate to.
 
 namespace wym::blocking {
 
@@ -48,7 +53,10 @@ struct TokenBlockerOptions {
 };
 
 /// Inverted-index token blocker: pairs sharing enough rare tokens are
-/// scored with whole-record token Jaccard.
+/// scored with whole-record token Jaccard. Backed by the sharded
+/// inverted index + skip-pruned probe of candidate_stream.h; the
+/// candidate set is identical to the original exhaustive-probe blocker,
+/// produced with prefix filtering instead of a full posting walk.
 class TokenBlocker {
  public:
   using Options = TokenBlockerOptions;
@@ -56,13 +64,14 @@ class TokenBlocker {
   explicit TokenBlocker(Options options = {});
 
   /// Generates candidates between two tables with the same schema.
-  /// Deterministic; candidates are sorted by (left_row, -score).
+  /// Deterministic at every WYM_THREADS setting; candidates are sorted
+  /// by (left_row, -score, right_row).
   std::vector<CandidatePair> Candidates(const EntityTable& left,
-                                        const EntityTable& right) const;
+                                        const EntityTable& right,
+                                        util::ThreadPool* pool = nullptr) const;
 
  private:
   Options options_;
-  text::Tokenizer tokenizer_;
 };
 
 /// Options for EmbeddingBlocker.
@@ -76,6 +85,15 @@ struct EmbeddingBlockerOptions {
 /// Dense blocker: pools the semantic encoder's token embeddings per row
 /// and keeps the top-k nearest right rows per left row. Catches
 /// candidates token blocking misses (abbreviations, heavy typos).
+///
+/// Deprecated: this class now routes through the random-hyperplane LSH
+/// index (lsh.h) instead of its original brute-force O(|L| x |R|)
+/// cosine scan. `k` and `min_cosine` keep their meaning; candidates are
+/// still cosine-verified, but only rows colliding with the probe in at
+/// least one hash table are considered, so pairs below ~0.5 cosine may
+/// no longer surface (they were filtered by min_cosine anyway at the
+/// default). New code should use CandidateStream / EmbeddingLsh
+/// directly.
 class EmbeddingBlocker {
  public:
   using Options = EmbeddingBlockerOptions;
@@ -86,7 +104,8 @@ class EmbeddingBlocker {
                    Options options = {});
 
   std::vector<CandidatePair> Candidates(const EntityTable& left,
-                                        const EntityTable& right) const;
+                                        const EntityTable& right,
+                                        util::ThreadPool* pool = nullptr) const;
 
  private:
   const embedding::SemanticEncoder* encoder_;

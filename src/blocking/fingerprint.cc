@@ -1,0 +1,59 @@
+#include "blocking/fingerprint.h"
+
+#include <algorithm>
+
+namespace wym::blocking {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void HashBytes(const std::string& s, uint64_t* h) {
+  for (const char c : s) {
+    *h ^= static_cast<unsigned char>(c);
+    *h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+uint64_t FingerprintTokens(const std::vector<std::string>& sorted_tokens) {
+  uint64_t h = kFnvOffset;
+  for (const std::string& token : sorted_tokens) {
+    HashBytes(token, &h);
+    h ^= 0x1F;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void FingerprintIndex::Build(const ShardedInvertedIndex& index) {
+  const size_t n = index.rows();
+  entries_.clear();
+  entries_.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    size_t count = 0;
+    const uint32_t* ids = index.RowTokens(r, &count);
+    uint64_t h = kFnvOffset;
+    for (size_t k = 0; k < count; ++k) {
+      HashBytes(index.Token(ids[k]), &h);
+      h ^= 0x1F;
+      h *= kFnvPrime;
+    }
+    entries_.emplace_back(h, static_cast<uint32_t>(r));
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
+void FingerprintIndex::Lookup(uint64_t fingerprint,
+                              std::vector<uint32_t>* rows) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(),
+      std::make_pair(fingerprint, static_cast<uint32_t>(0)));
+  for (; it != entries_.end() && it->first == fingerprint; ++it) {
+    rows->push_back(it->second);
+  }
+}
+
+}  // namespace wym::blocking

@@ -1,0 +1,55 @@
+#ifndef WYM_BLOCKING_FINGERPRINT_H_
+#define WYM_BLOCKING_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blocking/inverted_index.h"
+
+/// \file
+/// Normalized record fingerprints: the exact-duplicate short-circuit of
+/// the candidate-generation tier. Two rows whose descriptions tokenize
+/// to the same unique token set (case, punctuation, stop words and
+/// token order already canonicalized by the tokenizer + sort/unique)
+/// get the same 64-bit fingerprint; a probe that hits emits the
+/// duplicate candidates at score 1.0 and skips index and LSH probing
+/// for that row entirely. Hash collisions cannot produce false
+/// duplicates: every hit is verified against the indexed token-id list
+/// before it is emitted.
+
+namespace wym::blocking {
+
+/// FNV-1a 64 over `sorted_tokens` joined with a 0x1F separator. The
+/// input must already be sorted and deduplicated (the normalization
+/// step that makes the fingerprint order- and repetition-insensitive).
+uint64_t FingerprintTokens(const std::vector<std::string>& sorted_tokens);
+
+/// fingerprint -> rows map over an indexed table, stored as a sorted
+/// flat array (deterministic; no hash-table iteration anywhere near
+/// candidate output).
+class FingerprintIndex {
+ public:
+  FingerprintIndex() = default;
+
+  /// Fingerprints every row of the table behind `index` (token ids map
+  /// 1:1 onto sorted token strings, so hashing the id list's tokens
+  /// equals hashing the row's normalized tokens).
+  void Build(const ShardedInvertedIndex& index);
+
+  /// Appends the rows whose fingerprint equals `fingerprint` to `rows`
+  /// in ascending order (no-op on a miss).
+  void Lookup(uint64_t fingerprint, std::vector<uint32_t>* rows) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  /// (fingerprint, row), sorted — equal fingerprints are adjacent with
+  /// ascending rows.
+  std::vector<std::pair<uint64_t, uint32_t>> entries_;
+};
+
+}  // namespace wym::blocking
+
+#endif  // WYM_BLOCKING_FINGERPRINT_H_

@@ -311,20 +311,34 @@ std::vector<double> WymModel::PredictProbaBatch(const data::Dataset& dataset,
 std::vector<double> WymModel::PredictProbaBatch(const data::Dataset& dataset,
                                                 PredictionReport* report,
                                                 util::ThreadPool* pool) const {
+  return PredictProbaRange(dataset.records.data(), dataset.records.size(),
+                           report, pool);
+}
+
+std::vector<double> WymModel::PredictProbaBatch(
+    const std::vector<data::EmRecord>& records, PredictionReport* report,
+    util::ThreadPool* pool) const {
+  return PredictProbaRange(records.data(), records.size(), report, pool);
+}
+
+std::vector<double> WymModel::PredictProbaRange(const data::EmRecord* batch,
+                                                size_t n,
+                                                PredictionReport* report,
+                                                util::ThreadPool* pool) const {
   WYM_CHECK(fitted_) << "WymModel used before Fit";
   obs::SpanScope batch_span("predict.batch");
   const bool metrics = obs::MetricsEnabled();
   static obs::Histogram& record_ns =
       obs::Registry::Global().GetHistogram("predict.record_ns");
-  std::vector<double> out(dataset.size());
-  std::vector<std::string> reasons(dataset.size());
+  std::vector<double> out(n);
+  std::vector<std::string> reasons(n);
   util::ParallelFor(
-      dataset.size(), /*grain=*/1,
+      n, /*grain=*/1,
       [&](size_t begin, size_t end, size_t) {
         for (size_t i = begin; i < end; ++i) {
           obs::SpanScope span("predict.record");
           const std::uint64_t t0 = metrics ? obs::NowNanos() : 0;
-          const TokenizedRecord tokenized = Prepare(dataset.records[i]);
+          const TokenizedRecord tokenized = Prepare(batch[i]);
           reasons[i] = DegenerateReason(tokenized);
           if (!reasons[i].empty()) {
             out[i] = 0.0;  // Non-match fallback; reported, never NaN.
@@ -390,10 +404,19 @@ std::vector<Explanation> WymModel::ExplainBatch(const data::Dataset& dataset,
 }
 
 std::vector<int> WymModel::PredictDataset(const data::Dataset& dataset) const {
-  const std::vector<double> probabilities = PredictProbaBatch(dataset);
-  std::vector<int> out(probabilities.size());
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = probabilities[i] >= 0.5 ? 1 : 0;
+  // Chunked through the batch path so per-record scratch stays bounded
+  // by the chunk, not the dataset — the same discipline the streaming
+  // candidate tier applies on the blocking side.
+  constexpr size_t kChunkRecords = 8192;
+  std::vector<int> out(dataset.size());
+  for (size_t begin = 0; begin < dataset.size(); begin += kChunkRecords) {
+    const size_t n = std::min(kChunkRecords, dataset.size() - begin);
+    const std::vector<double> probabilities =
+        PredictProbaRange(dataset.records.data() + begin, n,
+                          /*report=*/nullptr, /*pool=*/nullptr);
+    for (size_t i = 0; i < n; ++i) {
+      out[begin + i] = probabilities[i] >= 0.5 ? 1 : 0;
+    }
   }
   return out;
 }

@@ -136,6 +136,15 @@ class WymModel : public Matcher {
                                         PredictionReport* report,
                                         util::ThreadPool* pool = nullptr) const;
 
+  /// Matching probabilities for a plain record list — the entry point
+  /// the streaming candidate tier (blocking::MatchTables) feeds in
+  /// bounded-memory chunks. Same quarantine and determinism contract as
+  /// the dataset overloads.
+  std::vector<double> PredictProbaBatch(
+      const std::vector<data::EmRecord>& records,
+      PredictionReport* report = nullptr,
+      util::ThreadPool* pool = nullptr) const;
+
   /// Explanations for every record of `dataset`, in order. Quarantined
   /// records yield an empty explanation (no units, probability 0.0).
   std::vector<Explanation> ExplainBatch(const data::Dataset& dataset,
@@ -204,6 +213,12 @@ class WymModel : public Matcher {
 
  private:
   ScoredUnitSet BuildScoredUnits(const TokenizedRecord& record) const;
+
+  /// Shared implementation of the PredictProbaBatch overloads over a
+  /// contiguous record range.
+  std::vector<double> PredictProbaRange(const data::EmRecord* records,
+                                        size_t n, PredictionReport* report,
+                                        util::ThreadPool* pool) const;
 
   WymConfig config_;
   text::Tokenizer tokenizer_;

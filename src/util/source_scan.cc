@@ -346,15 +346,23 @@ void CheckNoRawClock(const FileCtx& ctx, std::vector<Finding>* out) {
 }
 
 /// unordered-iteration: iterating a hash container in a TU that writes
-/// model files or reports can leak hash-table ordering into persisted
-/// bytes, breaking the bit-identical-output guarantee. Sort the keys
-/// first, or suppress with the reason the order provably cannot escape.
+/// model files or reports — or, in src/blocking/, emits CandidatePair
+/// lists — can leak hash-table ordering into persisted bytes or
+/// candidate order, breaking the bit-identical-output guarantee. Sort
+/// the keys first, or suppress with the reason the order provably
+/// cannot escape.
 void CheckUnorderedIteration(const FileCtx& ctx, std::vector<Finding>* out) {
-  // Scope: only TUs that can persist bytes (serializers, file writers).
+  // Scope: only TUs that can persist bytes (serializers, file writers)
+  // or emit candidate lists (the blocking tier promises byte-identical
+  // candidate output at every thread count and SIMD level).
+  const bool blocking_tu =
+      strings::StartsWith(ctx.path, "src/blocking/") ||
+      ctx.path.find("/src/blocking/") != std::string::npos;
   bool writes_output = false;
   for (const LexedLine& line : ctx.lines) {
     if (HasWord(line.code, "Serializer") || HasWord(line.code, "ofstream") ||
-        HasCall(line.code, "Save")) {
+        HasCall(line.code, "Save") ||
+        (blocking_tu && HasWord(line.code, "CandidatePair"))) {
       writes_output = true;
       break;
     }

@@ -205,6 +205,25 @@ TEST(UnorderedIterationCheckTest, FiresOnlyInOutputWritingFiles) {
                         "unordered-iteration"));
 }
 
+TEST(UnorderedIterationCheckTest, BlockingCandidateTusCountAsWriters) {
+  // A blocking TU that emits CandidatePair lists promises byte-identical
+  // candidate output, so hash-order iteration is flagged even without a
+  // serializer marker.
+  const std::string emitter =
+      "#include <unordered_map>\n"
+      "std::unordered_map<size_t, size_t> counts_;\n"
+      "void Emit(std::vector<CandidatePair>* out) {\n"
+      "  for (const auto& kv : counts_) { Use(kv); }\n"
+      "}\n";
+  const auto findings = Scan("src/blocking/probe.cc", emitter);
+  EXPECT_TRUE(HasCheck(findings, "unordered-iteration"));
+  EXPECT_EQ(LineOf(findings, "unordered-iteration"), 4);
+
+  // The same TU outside src/blocking/ has no output marker: quiet.
+  EXPECT_FALSE(HasCheck(Scan("src/core/probe.cc", emitter),
+                        "unordered-iteration"));
+}
+
 TEST(UnorderedIterationCheckTest, OrderedContainerIsQuiet) {
   const std::string snippet =
       "std::map<int, int> m_;\n"
