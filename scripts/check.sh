@@ -57,7 +57,12 @@ run_config debug-checks -DWYM_DEBUG_CHECKS=ON
 # Perf report: bench_micro --json and bench_blocking --json must emit
 # schema-valid wym-bench-report/v1 files (the BENCH_*.json trajectory).
 # Reuses the release tree; a short benchmark subset and a small blocking
-# table keep the step fast.
+# table keep the step fast. The fresh micro report is then gated against
+# the seeded repo-root BENCH_micro.json via compare-reports: only the
+# benchmark-name intersection is compared, and the 60% tolerance (vs the
+# tool's 10% default) absorbs the noise of short runs on loaded
+# single-CPU CI boxes while still catching order-of-magnitude cliffs.
+# Reseed the baseline after intentional perf changes (see DESIGN.md).
 run_perf_report() {
   name=perf-report
   if [ "$ONLY" != all ] && [ "$ONLY" != "$name" ]; then
@@ -80,7 +85,9 @@ run_perf_report() {
         "$build/bench/bench_blocking" --json="$blocking_report" \
         >> "$log" 2>&1 \
      && "$build/tools/wym_cli" validate-report --file "$blocking_report" \
-        >> "$log" 2>&1
+        >> "$log" 2>&1 \
+     && "$build/tools/wym_cli" compare-reports "$ROOT/BENCH_micro.json" \
+        "$report" --tolerance 0.6 >> "$log" 2>&1
   then
     SUMMARY="$SUMMARY
   PASS  $name"

@@ -453,11 +453,14 @@ void CheckNoParallelReduce(const FileCtx& ctx, std::vector<Finding>* out) {
 /// kernel-bypass-accumulation: a hand-rolled `acc += a[i] * b[i]` dot
 /// loop in the math subsystems compiles to whatever reduction order the
 /// optimizer picks and silently diverges from la::kernels' pinned
-/// summation tree. Route through kernels::Dot/Axpy.
+/// summation tree. Route through kernels::Dot/Axpy (or DotI8 for int8
+/// code paths — src/core and src/blocking consume the quantized kernels
+/// and are covered for the same reason).
 void CheckKernelBypassAccumulation(const FileCtx& ctx,
                                    std::vector<Finding>* out) {
   if (!ctx.InDir("src/la/") && !ctx.InDir("src/ml/") &&
-      !ctx.InDir("src/embedding/")) {
+      !ctx.InDir("src/embedding/") && !ctx.InDir("src/core/") &&
+      !ctx.InDir("src/blocking/")) {
     return;
   }
   if (strings::StartsWith(ctx.Basename(), "kernels")) return;
@@ -497,7 +500,8 @@ void CheckKernelBypassAccumulation(const FileCtx& ctx,
     if (duplicated) {
       Emit(ctx, i, "kernel-bypass-accumulation",
            "scalar reduction over indexed products bypasses la::kernels' "
-           "pinned summation order; use kernels::Dot/Axpy",
+           "pinned summation order; use kernels::Dot/Axpy (DotI8 for "
+           "quantized rows)",
            out);
     }
   }
@@ -654,7 +658,9 @@ void CheckSimdOutsideKernels(const FileCtx& ctx, std::vector<Finding>* out) {
   }
   static const char* kIncludes[] = {"immintrin.h", "emmintrin.h",
                                     "xmmintrin.h", "smmintrin.h",
-                                    "tmmintrin.h", "avxintrin.h"};
+                                    "tmmintrin.h", "avxintrin.h",
+                                    "pmmintrin.h", "nmmintrin.h",
+                                    "wmmintrin.h"};
   for (size_t i = 0; i < ctx.lines.size(); ++i) {
     const std::string& code = ctx.lines[i].code;
     if (ctx.lines[i].preprocessor) {

@@ -251,14 +251,40 @@ TEST(KernelBypassCheckTest, FiresOnDotLoopsInMathDirsOnly) {
                        "kernel-bypass-accumulation"));
   EXPECT_TRUE(HasCheck(Scan("src/la/x.cc", dot),
                        "kernel-bypass-accumulation"));
-  // Outside the math subsystems: quiet.
-  EXPECT_FALSE(HasCheck(Scan("src/core/x.cc", dot),
+  // The int8-kernel consumers are covered too.
+  EXPECT_TRUE(HasCheck(Scan("src/core/x.cc", dot),
+                       "kernel-bypass-accumulation"));
+  EXPECT_TRUE(HasCheck(Scan("src/blocking/x.cc", dot),
+                       "kernel-bypass-accumulation"));
+  // Outside the covered subsystems: quiet.
+  EXPECT_FALSE(HasCheck(Scan("src/obs/x.cc", dot),
                         "kernel-bypass-accumulation"));
   // The kernel TUs implement the pinned order itself.
   EXPECT_FALSE(HasCheck(Scan("src/la/kernels.cc", dot),
                         "kernel-bypass-accumulation"));
   EXPECT_FALSE(HasCheck(Scan("src/la/kernels_avx2.cc", dot),
                         "kernel-bypass-accumulation"));
+}
+
+TEST(KernelBypassCheckTest, FiresOnInt8DotLoopAndHonorsSuppression) {
+  // A hand-rolled int8 dot in a consumer TU bypasses DotI8's exact
+  // int32 accumulation contract just like a float loop bypasses Dot's.
+  const std::string i8_dot =
+      "for (size_t i = 0; i < n; ++i)\n"
+      "  acc += static_cast<int32_t>(qa[i]) * static_cast<int32_t>(qb[i]);\n";
+  EXPECT_TRUE(HasCheck(Scan("src/core/x.cc", i8_dot),
+                       "kernel-bypass-accumulation"));
+  EXPECT_TRUE(HasCheck(Scan("src/blocking/x.cc", i8_dot),
+                       "kernel-bypass-accumulation"));
+  ScanStats stats;
+  const std::string suppressed =
+      "for (size_t i = 0; i < n; ++i)\n"
+      "  // wym-lint: allow(kernel-bypass-accumulation): exactness proof "
+      "needs the naive form\n"
+      "  acc += static_cast<int32_t>(qa[i]) * static_cast<int32_t>(qb[i]);\n";
+  EXPECT_FALSE(HasCheck(Scan("src/core/x.cc", suppressed, &stats),
+                        "kernel-bypass-accumulation"));
+  EXPECT_EQ(stats.suppressions_honored, 1u);
 }
 
 TEST(KernelBypassCheckTest, ElementwiseAccumulationIsQuiet) {
@@ -358,6 +384,37 @@ TEST(SimdCheckTest, IntrinsicsConfinedToKernelTus) {
       Scan("src/la/kernels_avx2.cc",
            "#include <immintrin.h>\n__m256d v = _mm256_setzero_pd();\n"),
       "simd-outside-kernels"));
+}
+
+TEST(SimdCheckTest, Int8IntrinsicsAndHeadersCoveredOutsideKernels) {
+  // The int8 tier's widening/madd intrinsics carry the same _mm prefixes
+  // and must stay confined to the kernel TUs like the float ones.
+  EXPECT_TRUE(HasCheck(
+      Scan("src/core/x.cc",
+           "__m128i s = _mm_madd_epi16(_mm_srai_epi16(v, 8), w);\n"),
+      "simd-outside-kernels"));
+  EXPECT_TRUE(HasCheck(
+      Scan("src/blocking/x.cc",
+           "__m256i s = _mm256_cvtepi8_epi16(_mm_loadl_epi64(p));\n"),
+      "simd-outside-kernels"));
+  EXPECT_TRUE(HasCheck(Scan("src/core/x.cc", "#include <nmmintrin.h>\n"),
+                       "simd-outside-kernels"));
+  EXPECT_TRUE(HasCheck(Scan("src/core/x.cc", "#include <pmmintrin.h>\n"),
+                       "simd-outside-kernels"));
+  // The kernel TUs themselves stay exempt for the int8 intrinsics too.
+  EXPECT_FALSE(HasCheck(
+      Scan("src/la/kernels_sse2.cc",
+           "__m128i s = _mm_madd_epi16(_mm_srai_epi16(v, 8), w);\n"),
+      "simd-outside-kernels"));
+  ScanStats stats;
+  EXPECT_FALSE(HasCheck(
+      Scan("src/core/x.cc",
+           "// wym-lint: allow(simd-outside-kernels): doc snippet quoting "
+           "the kernel\n"
+           "__m128i s = _mm_madd_epi16(v, w);\n",
+           &stats),
+      "simd-outside-kernels"));
+  EXPECT_EQ(stats.suppressions_honored, 1u);
 }
 
 TEST(NoCoutCheckTest, LibraryCodeOnly) {

@@ -19,17 +19,23 @@
 //   wym_cli validate-report --file BENCH_micro.json
 //                     # schema-check a --json perf report or a WYM_TRACE
 //                     # trace file (auto-detected by content)
+//   wym_cli compare-reports <baseline.json> <current.json>
+//                     [--tolerance 0.10]
+//                     # compare two bench reports benchmark-by-benchmark
+//                     # (name intersection); exit 4 if any current
+//                     # time_ns exceeds baseline * (1 + tolerance)
 //   wym_cli list      # available benchmark dataset ids
 //
 // train-eval / explain apply the paper's 60-20-20 split internally.
 //
 // Exit codes: 0 success, 1 usage or other error, 2 I/O error,
-// 3 corruption (failed checksum / damaged file). Failure messages go to
-// stderr.
+// 3 corruption (failed checksum / damaged file), 4 perf regression
+// (compare-reports only). Failure messages go to stderr.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -44,6 +50,7 @@
 #include "explain/global.h"
 #include "explain/report.h"
 #include "ml/metrics.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 
@@ -59,6 +66,7 @@ enum ExitCode {
   kExitUsage = 1,
   kExitIo = 2,
   kExitCorruption = 3,
+  kExitRegression = 4,
 };
 
 /// Maps a non-OK Status onto the exit-code contract, message on stderr.
@@ -118,7 +126,7 @@ class Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: wym_cli <generate|train-eval|explain|stats|profile|"
-               "verify|validate-report|list> [flags]\n"
+               "verify|validate-report|compare-reports|list> [flags]\n"
                "see the header of tools/wym_cli.cc for the flag list\n");
   return kExitUsage;
 }
@@ -321,6 +329,111 @@ int CmdValidateReport(const Args& args) {
   return kExitOk;
 }
 
+/// Reads + schema-checks one bench report and extracts its
+/// {benchmark name -> time_ns} map. Returns kExitOk or the exit code to
+/// propagate.
+int LoadBenchTimes(const std::string& path,
+                   std::map<std::string, double>* times) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return kExitIo;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string error;
+  if (!obs::ValidateBenchReportJson(text, &error)) {
+    std::fprintf(stderr, "%s: invalid bench report: %s\n", path.c_str(),
+                 error.c_str());
+    return kExitCorruption;
+  }
+  obs::JsonValue root;
+  if (!obs::ParseJson(text, &root, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return kExitCorruption;
+  }
+  const obs::JsonValue* benchmarks = root.Find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->IsArray()) {
+    std::fprintf(stderr, "%s: no benchmarks array\n", path.c_str());
+    return kExitCorruption;
+  }
+  for (const obs::JsonValue& entry : benchmarks->array) {
+    const obs::JsonValue* name = entry.Find("name");
+    const obs::JsonValue* time_ns = entry.Find("time_ns");
+    if (name == nullptr || time_ns == nullptr || !time_ns->IsNumber()) {
+      continue;  // ValidateBenchReportJson already vouched for the shape.
+    }
+    (*times)[name->string] = time_ns->number;
+  }
+  return kExitOk;
+}
+
+/// `compare-reports`: benchmark-by-benchmark perf gate between two
+/// wym-bench-report/v1 files. Only the intersection of benchmark names
+/// is compared — the current report is typically a filtered subset of
+/// the seeded baseline — and any benchmark whose current time exceeds
+/// baseline * (1 + tolerance) is a regression (exit 4). Improvements
+/// and new/missing benchmarks are reported but never fail the gate.
+int CmdCompareReports(int argc, char** argv) {
+  std::vector<std::string> files;
+  double tolerance = 0.10;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--tolerance needs a value\n");
+        return kExitUsage;
+      }
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return kExitUsage;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2 || tolerance < 0.0) {
+    std::fprintf(stderr,
+                 "usage: wym_cli compare-reports <baseline.json> "
+                 "<current.json> [--tolerance 0.10]\n");
+    return kExitUsage;
+  }
+
+  std::map<std::string, double> baseline, current;
+  if (const int code = LoadBenchTimes(files[0], &baseline)) return code;
+  if (const int code = LoadBenchTimes(files[1], &current)) return code;
+
+  size_t compared = 0, regressions = 0;
+  for (const auto& [name, current_ns] : current) {
+    const auto it = baseline.find(name);
+    if (it == baseline.end()) {
+      std::printf("  new       %-40s %12.1f ns\n", name.c_str(), current_ns);
+      continue;
+    }
+    ++compared;
+    const double baseline_ns = it->second;
+    const double ratio =
+        baseline_ns > 0.0 ? current_ns / baseline_ns
+                          : (current_ns > 0.0 ? std::numeric_limits<double>::infinity() : 1.0);
+    const bool regressed = current_ns > baseline_ns * (1.0 + tolerance);
+    if (regressed) ++regressions;
+    std::printf("  %-9s %-40s %12.1f -> %12.1f ns  (%+.1f%%)\n",
+                regressed ? "REGRESSED" : "ok", name.c_str(), baseline_ns,
+                current_ns, (ratio - 1.0) * 100.0);
+  }
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "no common benchmarks between %s and %s — nothing gated\n",
+                 files[0].c_str(), files[1].c_str());
+    return kExitUsage;
+  }
+  std::printf("compared %zu benchmark(s), tolerance %.0f%%: %zu regression(s)\n",
+              compared, tolerance * 100.0, regressions);
+  return regressions == 0 ? kExitOk : kExitRegression;
+}
+
 }  // namespace
 
 int CmdProfile(const Args& args) {
@@ -356,6 +469,9 @@ int CmdStats(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  // compare-reports takes positional file arguments, which the shared
+  // --key/value parser rejects; dispatch it before constructing Args.
+  if (command == "compare-reports") return CmdCompareReports(argc, argv);
   const Args args(argc, argv);
   if (command == "list") return CmdList();
   if (command == "generate") return CmdGenerate(args);
