@@ -7,15 +7,20 @@
 #   sh scripts/check.sh release      # just one
 #                                    # (release|ubsan|asan-ubsan|debug-checks|
 #                                    #  perf-report)
+#   sh scripts/check.sh --fast       # release build + static analysis +
+#                                    # ctest only (the quick pre-push loop)
 #
-# Build trees land in build-check-<name>/ so they never disturb an
-# existing build/ directory. Set JOBS to cap build parallelism.
+# Build trees and logs land under build/check/<name>/ so they never
+# disturb an existing build/ directory and a single `rm -rf build`
+# clears everything. Set JOBS to cap build parallelism.
 
 set -u
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 ONLY=${1:-all}
+CHECK_DIR="$ROOT/build/check"
+mkdir -p "$CHECK_DIR"
 
 SUMMARY=""
 FAILED=0
@@ -26,8 +31,8 @@ run_config() {
   if [ "$ONLY" != all ] && [ "$ONLY" != "$name" ]; then
     return 0
   fi
-  build="$ROOT/build-check-$name"
-  log="$build.log"
+  build="$CHECK_DIR/$name"
+  log="$CHECK_DIR/$name.log"
   echo "==> [$name] configure + build + ctest ($build)"
   if cmake -B "$build" -S "$ROOT" "$@" > "$log" 2>&1 \
      && cmake --build "$build" -j "$JOBS" >> "$log" 2>&1 \
@@ -43,7 +48,38 @@ run_config() {
   fi
 }
 
-# Release: the tier-1 configuration, including the wym_lint ctest gate.
+# --fast: the pre-push loop. One release build, the three wym_lint
+# passes run explicitly (so their findings land on the terminal, not
+# just in a ctest log), then the full release ctest suite. Sanitizer
+# and perf tiers are the full run's job.
+if [ "$ONLY" = "--fast" ]; then
+  build="$CHECK_DIR/release"
+  log="$CHECK_DIR/fast.log"
+  echo "==> [fast] release build + lint/graph/taint + ctest ($build)"
+  if ! cmake -B "$build" -S "$ROOT" > "$log" 2>&1 \
+     || ! cmake --build "$build" -j "$JOBS" >> "$log" 2>&1; then
+    tail -n 30 "$log"
+    echo "check.sh --fast: FAIL (build; see $log)"
+    exit 1
+  fi
+  for pass in lint graph taint; do
+    if ! "$build/tools/wym_lint" "$pass" "$ROOT"; then
+      echo "check.sh --fast: FAIL (wym_lint $pass)"
+      exit 1
+    fi
+  done
+  if ! ctest --test-dir "$build" --output-on-failure -j 2 >> "$log" 2>&1
+  then
+    tail -n 30 "$log"
+    echo "check.sh --fast: FAIL (ctest; see $log)"
+    exit 1
+  fi
+  echo "check.sh --fast: PASS"
+  exit 0
+fi
+
+# Release: the tier-1 configuration, including the wym_lint /
+# wym_lint_graph / wym_lint_taint ctest gates.
 run_config release
 # UBSan: -fno-sanitize-recover=all makes any UB finding a test failure.
 run_config ubsan -DWYM_SANITIZE=undefined
@@ -68,8 +104,8 @@ run_perf_report() {
   if [ "$ONLY" != all ] && [ "$ONLY" != "$name" ]; then
     return 0
   fi
-  build="$ROOT/build-check-release"
-  log="$build-perf-report.log"
+  build="$CHECK_DIR/release"
+  log="$CHECK_DIR/perf-report.log"
   report="$build/BENCH_micro.json"
   blocking_report="$build/BENCH_blocking.json"
   echo "==> [$name] bench_micro/bench_blocking --json + schema validation"

@@ -1,0 +1,468 @@
+#include "analysis/call_graph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace wym::analysis {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Token {
+  std::string text;
+  int line = 0;  ///< 1-based.
+  bool ident = false;
+};
+
+/// Tokenizes the code views of all non-preprocessor lines. Identifiers
+/// and numbers become ident/number tokens; `::` and `->` stay joined;
+/// every other non-space character is its own token. Preprocessor lines
+/// are skipped entirely (macro bodies are not code the compiler sees at
+/// the definition site).
+std::vector<Token> Tokenize(const SourceFile& file) {
+  std::vector<Token> tokens;
+  for (size_t i = 0; i < file.lines.size(); ++i) {
+    if (file.lines[i].preprocessor) continue;
+    const std::string& code = file.lines[i].code;
+    const int line = static_cast<int>(i + 1);
+    size_t k = 0;
+    while (k < code.size()) {
+      const char c = code[k];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++k;
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        size_t e = k;
+        while (e < code.size() && IsIdentChar(code[e])) ++e;
+        tokens.push_back(Token{code.substr(k, e - k), line, true});
+        k = e;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t e = k;
+        while (e < code.size() &&
+               (IsIdentChar(code[e]) || code[e] == '\'' || code[e] == '.')) {
+          ++e;
+        }
+        tokens.push_back(Token{code.substr(k, e - k), line, false});
+        k = e;
+        continue;
+      }
+      if (c == ':' && k + 1 < code.size() && code[k + 1] == ':') {
+        tokens.push_back(Token{"::", line, false});
+        k += 2;
+        continue;
+      }
+      if (c == '-' && k + 1 < code.size() && code[k + 1] == '>') {
+        tokens.push_back(Token{"->", line, false});
+        k += 2;
+        continue;
+      }
+      tokens.push_back(Token{std::string(1, c), line, false});
+      ++k;
+    }
+  }
+  return tokens;
+}
+
+bool IsControlKeyword(const std::string& text) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",      "while",   "switch", "return", "sizeof",
+      "alignof", "decltype", "catch",  "throw",  "new",    "delete",
+      "static_assert", "defined", "alignas", "noexcept", "assert",
+  };
+  return kKeywords.count(text) != 0;
+}
+
+/// Index of the token after the balanced group opened at `open`
+/// (tokens[open] must be the opener). Returns tokens.size() when
+/// unbalanced.
+size_t SkipBalanced(const std::vector<Token>& tokens, size_t open,
+                    const char* opener, const char* closer) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == opener) ++depth;
+    if (tokens[i].text == closer && --depth == 0) return i + 1;
+  }
+  return tokens.size();
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kFunction, kPlain };
+  Kind kind = Kind::kPlain;
+  std::string name;     ///< Empty for plain blocks / anonymous namespaces.
+  size_t def_index = 0; ///< For kFunction: the FunctionDef being built.
+};
+
+struct PendingCall {
+  size_t def_index;
+  std::string name;  ///< "Foo" or "A::B::Foo" as written.
+  bool member = false;
+  int line = 0;
+};
+
+/// Parses one file's token stream: recovers definitions and raw call
+/// sites (resolution happens later, across files).
+void ParseFile(const SourceTree& tree, size_t file_index,
+               std::vector<FunctionDef>* defs,
+               std::vector<PendingCall>* calls) {
+  const SourceFile& file = tree.files[file_index];
+  const std::vector<Token> tokens = Tokenize(file);
+  std::vector<Scope> scopes;
+
+  const auto in_function = [&]() {
+    for (const Scope& scope : scopes) {
+      if (scope.kind == Scope::Kind::kFunction) return true;
+    }
+    return false;
+  };
+  const auto innermost_function = [&]() -> size_t {
+    for (size_t i = scopes.size(); i-- > 0;) {
+      if (scopes[i].kind == Scope::Kind::kFunction) {
+        return scopes[i].def_index;
+      }
+    }
+    return 0;  // Unreachable when in_function().
+  };
+  const auto scope_prefix = [&]() {
+    std::string prefix;
+    for (const Scope& scope : scopes) {
+      if (scope.name.empty()) continue;
+      if (!prefix.empty()) prefix += "::";
+      prefix += scope.name;
+    }
+    return prefix;
+  };
+
+  // Collects the identifier sequence `A::B::name` ending at `i`
+  // (inclusive); returns its first token index and writes the joined
+  // text.
+  const auto qualified_at = [&](size_t i, std::string* text) {
+    size_t begin = i;
+    *text = tokens[i].text;
+    while (begin >= 2 && tokens[begin - 1].text == "::" &&
+           tokens[begin - 2].ident) {
+      begin -= 2;
+      *text = tokens[begin].text + "::" + *text;
+    }
+    return begin;
+  };
+
+  size_t i = 0;
+  while (i < tokens.size()) {
+    const Token& token = tokens[i];
+
+    if (token.text == "}") {
+      if (!scopes.empty()) {
+        if (scopes.back().kind == Scope::Kind::kFunction) {
+          (*defs)[scopes.back().def_index].body_end = token.line;
+        }
+        scopes.pop_back();
+      }
+      ++i;
+      continue;
+    }
+
+    if (in_function()) {
+      if (token.text == "{") {
+        scopes.push_back(Scope{Scope::Kind::kPlain, "", 0});
+        ++i;
+        continue;
+      }
+      if (token.ident && i + 1 < tokens.size() &&
+          tokens[i + 1].text == "(" && !IsControlKeyword(token.text)) {
+        std::string name;
+        const size_t begin = qualified_at(i, &name);
+        const bool member =
+            begin >= 1 && (tokens[begin - 1].text == "." ||
+                           tokens[begin - 1].text == "->");
+        calls->push_back(
+            PendingCall{innermost_function(), name, member, token.line});
+      }
+      ++i;
+      continue;
+    }
+
+    // --- namespace / class / global scope ---
+
+    if (token.text == "{") {
+      scopes.push_back(Scope{Scope::Kind::kPlain, "", 0});
+      ++i;
+      continue;
+    }
+
+    if (token.text == "namespace") {
+      // `namespace A::B {`, `namespace {`, or an alias `namespace X =`.
+      std::string name;
+      size_t j = i + 1;
+      while (j < tokens.size() && tokens[j].ident) {
+        if (!name.empty()) name += "::";
+        name += tokens[j].text;
+        ++j;
+        if (j < tokens.size() && tokens[j].text == "::") ++j;
+      }
+      if (j < tokens.size() && tokens[j].text == "{") {
+        scopes.push_back(Scope{Scope::Kind::kNamespace, name, 0});
+        i = j + 1;
+      } else {
+        ++i;  // Alias or using-directive; no scope opens here.
+      }
+      continue;
+    }
+
+    if ((token.text == "class" || token.text == "struct") &&
+        !(i > 0 && tokens[i - 1].text == "enum")) {
+      // Find the tag name, then whether a body opens before the next ';'.
+      std::string name;
+      size_t j = i + 1;
+      if (j < tokens.size() && tokens[j].ident) {
+        name = tokens[j].text;
+        ++j;
+      }
+      while (j < tokens.size() && tokens[j].text != "{" &&
+             tokens[j].text != ";") {
+        ++j;
+      }
+      if (j < tokens.size() && tokens[j].text == "{") {
+        scopes.push_back(Scope{Scope::Kind::kClass, name, 0});
+        i = j + 1;
+      } else {
+        i = j;  // Forward declaration.
+      }
+      continue;
+    }
+
+    if (token.ident && !IsControlKeyword(token.text)) {
+      // Candidate definition head: `name (...)` or `A::B::name (...)`.
+      std::string name;
+      qualified_at(i, &name);
+      size_t j = i + 1;
+      while (j < tokens.size() && tokens[j].text == "::" &&
+             j + 1 < tokens.size() && tokens[j + 1].ident) {
+        name += "::" + tokens[j + 1].text;
+        j += 2;
+      }
+      if (j >= tokens.size() || tokens[j].text != "(") {
+        ++i;
+        continue;
+      }
+      const int def_line = tokens[i].line;
+      size_t k = SkipBalanced(tokens, j, "(", ")");
+      // Trailer: cv/ref qualifiers, noexcept(...), override/final,
+      // trailing return type, constructor initializer list.
+      bool is_def = false;
+      while (k < tokens.size()) {
+        const std::string& t = tokens[k].text;
+        if (t == "{") {
+          is_def = true;
+          break;
+        }
+        if (t == ";" || t == "=" || t == "," || t == ")") break;
+        if (t == ":") {
+          // Constructor initializer list: `: member(init), base{init} {`.
+          ++k;
+          while (k < tokens.size()) {
+            while (k < tokens.size() && (tokens[k].ident ||
+                                         tokens[k].text == "::")) {
+              ++k;
+            }
+            if (k < tokens.size() && tokens[k].text == "<") {
+              k = SkipBalanced(tokens, k, "<", ">");
+            }
+            if (k >= tokens.size()) break;
+            if (tokens[k].text == "(") {
+              k = SkipBalanced(tokens, k, "(", ")");
+            } else if (tokens[k].text == "{") {
+              k = SkipBalanced(tokens, k, "{", "}");
+            } else {
+              break;
+            }
+            if (k < tokens.size() && tokens[k].text == ",") {
+              ++k;
+              continue;
+            }
+            break;
+          }
+          if (k < tokens.size() && tokens[k].text == "{") {
+            is_def = true;
+          }
+          break;
+        }
+        if (t == "noexcept" && k + 1 < tokens.size() &&
+            tokens[k + 1].text == "(") {
+          k = SkipBalanced(tokens, k + 1, "(", ")");
+          continue;
+        }
+        ++k;
+      }
+      if (!is_def) {
+        ++i;
+        continue;
+      }
+      FunctionDef def;
+      const std::string prefix = scope_prefix();
+      def.qualified_name = prefix.empty() ? name : prefix + "::" + name;
+      def.file = file_index;
+      def.line = def_line;
+      def.body_begin = tokens[k].line;
+      def.body_end = tokens[k].line;  // Fixed when the scope closes.
+      defs->push_back(def);
+      scopes.push_back(
+          Scope{Scope::Kind::kFunction, "", defs->size() - 1});
+      i = k + 1;
+      continue;
+    }
+
+    ++i;
+  }
+  // Unbalanced file (shouldn't happen on real code): close any dangling
+  // function extents at the last line.
+  for (const Scope& scope : scopes) {
+    if (scope.kind == Scope::Kind::kFunction &&
+        (*defs)[scope.def_index].body_end <
+            (*defs)[scope.def_index].body_begin) {
+      (*defs)[scope.def_index].body_end =
+          static_cast<int>(file.lines.size());
+    }
+  }
+}
+
+/// True when `qualified` ends with `suffix` at a '::' component
+/// boundary ("wym::la::kernels::Dot" ends with "kernels::Dot" but not
+/// with "els::Dot").
+bool EndsWithComponents(const std::string& qualified,
+                        const std::string& suffix) {
+  if (qualified == suffix) return true;
+  if (qualified.size() <= suffix.size()) return false;
+  if (!strings::EndsWith(qualified, suffix)) return false;
+  const size_t at = qualified.size() - suffix.size();
+  return at >= 2 && qualified.compare(at - 2, 2, "::") == 0;
+}
+
+}  // namespace
+
+std::string FunctionDef::Name() const {
+  const size_t sep = qualified_name.rfind("::");
+  return sep == std::string::npos ? qualified_name
+                                  : qualified_name.substr(sep + 2);
+}
+
+std::string DomainOf(const std::string& path) {
+  for (const char* domain : {"src", "tools", "tests", "bench", "examples"}) {
+    if (strings::StartsWith(path, std::string(domain) + "/")) return domain;
+  }
+  return "";
+}
+
+std::vector<size_t> CallGraph::CalleesOf(size_t def) const {
+  std::vector<size_t> out;
+  for (const CallEdge& edge : edges) {
+    if (edge.caller == def) out.push_back(edge.callee);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+CallGraph BuildCallGraph(const SourceTree& tree) {
+  CallGraph graph;
+  std::vector<PendingCall> calls;
+  for (size_t f = 0; f < tree.files.size(); ++f) {
+    ParseFile(tree, f, &graph.defs, &calls);
+  }
+  for (size_t d = 0; d < graph.defs.size(); ++d) {
+    graph.by_name[graph.defs[d].Name()].push_back(d);
+  }
+
+  // Resolution. Candidate tiers, first non-empty wins:
+  //   qualified call:  definitions whose qualified name ends with the
+  //                    written qualifier chain (component-aligned).
+  //   plain call:      caller-scope walk (wym::core::Foo, wym::Foo,
+  //                    Foo), narrowed to the caller's file when that
+  //                    subset is non-empty; then same-file name match;
+  //                    then same-domain name match.
+  //   member call:     same-domain name match (receiver types are
+  //                    unknown, so every definition of the method in
+  //                    the caller's domain is a possible callee).
+  std::set<std::pair<size_t, size_t>> edge_set;
+  for (const PendingCall& call : calls) {
+    const FunctionDef& caller = graph.defs[call.def_index];
+    const std::string caller_path = tree.files[caller.file].path;
+    const std::string caller_domain = DomainOf(caller_path);
+    const size_t sep = call.name.rfind("::");
+    const std::string last =
+        sep == std::string::npos ? call.name : call.name.substr(sep + 2);
+    const auto named = graph.by_name.find(last);
+    if (named == graph.by_name.end()) continue;
+
+    std::vector<size_t> resolved;
+    if (sep != std::string::npos) {
+      for (const size_t d : named->second) {
+        if (EndsWithComponents(graph.defs[d].qualified_name, call.name)) {
+          resolved.push_back(d);
+        }
+      }
+    } else if (!call.member) {
+      // Scope walk: strip trailing components off the caller's own
+      // qualified name (its innermost scopes first).
+      std::string scope = caller.qualified_name;
+      while (resolved.empty()) {
+        const size_t cut = scope.rfind("::");
+        scope = cut == std::string::npos ? "" : scope.substr(0, cut);
+        const std::string want =
+            scope.empty() ? last : scope + "::" + last;
+        for (const size_t d : named->second) {
+          if (graph.defs[d].qualified_name == want) resolved.push_back(d);
+        }
+        if (scope.empty()) break;
+      }
+      if (!resolved.empty()) {
+        std::vector<size_t> same_file;
+        for (const size_t d : resolved) {
+          if (graph.defs[d].file == caller.file) same_file.push_back(d);
+        }
+        if (!same_file.empty()) resolved = std::move(same_file);
+      }
+      if (resolved.empty()) {
+        for (const size_t d : named->second) {
+          if (graph.defs[d].file == caller.file) resolved.push_back(d);
+        }
+      }
+    }
+    if (resolved.empty()) {
+      // Domain-wide fallback (and the member-call rule).
+      for (const size_t d : named->second) {
+        if (DomainOf(tree.files[graph.defs[d].file].path) ==
+            caller_domain) {
+          resolved.push_back(d);
+        }
+      }
+    }
+    for (const size_t callee : resolved) {
+      if (callee == call.def_index) continue;  // Self-recursion: no edge.
+      if (edge_set.insert({call.def_index, callee}).second) {
+        graph.edges.push_back(
+            CallEdge{call.def_index, callee, call.line});
+      }
+    }
+  }
+  std::sort(graph.edges.begin(), graph.edges.end(),
+            [](const CallEdge& a, const CallEdge& b) {
+              if (a.caller != b.caller) return a.caller < b.caller;
+              if (a.callee != b.callee) return a.callee < b.callee;
+              return a.line < b.line;
+            });
+  return graph;
+}
+
+}  // namespace wym::analysis

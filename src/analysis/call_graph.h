@@ -1,0 +1,80 @@
+#ifndef WYM_ANALYSIS_CALL_GRAPH_H_
+#define WYM_ANALYSIS_CALL_GRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/source_model.h"
+
+/// \file
+/// Approximate cross-TU call graph recovered from the token stream
+/// (`wym_lint taint`'s substrate). Like the rest of wym-lint this is
+/// lexical, not semantic: no templates are instantiated, no overloads
+/// are resolved, no macros are expanded. The recovery rules:
+///
+///  * A **definition** is an identifier sequence (`name` or
+///    `Class::name`) directly followed by a balanced parameter list and
+///    a `{` body at namespace/class scope. Namespace and class scopes
+///    are tracked through the brace structure, so out-of-line members
+///    and nested-namespace definitions get their full qualified name
+///    (`wym::core::WymModel::Fit`).
+///  * A **call site** is an identifier followed by `(` inside a
+///    definition's body (excluding control-flow keywords).
+///  * **Resolution** over-approximates real name lookup: qualified
+///    calls match definitions by qualifier suffix; plain calls walk the
+///    caller's enclosing scopes, then fall back to same-file and then
+///    same-domain (src|tools|tests|bench|examples) name matches; member
+///    calls (`x.Foo(...)`) match every same-domain definition of `Foo`.
+///    Over-approximation is the right failure mode for a taint pass:
+///    a spurious edge can only make the analysis more conservative.
+///
+/// Anything unresolved (std::, macros, external libraries) simply has
+/// no edge. Everything is processed in sorted file order, so the graph
+/// — and every diagnostic derived from it — is deterministic.
+
+namespace wym::analysis {
+
+/// One recovered function definition.
+struct FunctionDef {
+  std::string qualified_name;  ///< Scope-joined, e.g. "wym::la::Dot".
+  size_t file = 0;             ///< Index into SourceTree::files.
+  int line = 0;                ///< 1-based line of the signature.
+  int body_begin = 0;          ///< 1-based line of the opening '{'.
+  int body_end = 0;            ///< 1-based line of the closing '}'.
+
+  /// Last '::' component ("Fit" for "wym::core::WymModel::Fit").
+  std::string Name() const;
+};
+
+/// One resolved call edge.
+struct CallEdge {
+  size_t caller = 0;  ///< Index into CallGraph::defs.
+  size_t callee = 0;  ///< Index into CallGraph::defs.
+  int line = 0;       ///< 1-based call-site line.
+};
+
+struct CallGraph {
+  std::vector<FunctionDef> defs;
+  /// Sorted by (caller, callee, line), deduplicated per (caller,
+  /// callee) pair keeping the first line.
+  std::vector<CallEdge> edges;
+  /// defs indices by unqualified name, for the passes' own lookups.
+  std::map<std::string, std::vector<size_t>> by_name;
+
+  /// Callee def indices of `def`, sorted ascending (deduplicated).
+  std::vector<size_t> CalleesOf(size_t def) const;
+};
+
+/// Builds the call graph for the whole tree.
+CallGraph BuildCallGraph(const SourceTree& tree);
+
+/// The coarse ownership domain used as the resolution fallback
+/// boundary: "src", "tools", "tests", "bench", "examples" or "" when
+/// the path matches none.
+std::string DomainOf(const std::string& path);
+
+}  // namespace wym::analysis
+
+#endif  // WYM_ANALYSIS_CALL_GRAPH_H_

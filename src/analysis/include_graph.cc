@@ -1,0 +1,298 @@
+#include "analysis/include_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace wym::analysis {
+
+namespace {
+
+/// Directory part of `path` ('' for a bare filename), '/'-separated.
+std::string Dirname(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Collapses `.` and `..` segments ("src/la/../util/io.h" →
+/// "src/util/io.h"). Purely lexical; scanned paths have no symlinks.
+std::string Normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    const std::string part = path.substr(start, end - start);
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else if (!part.empty() && part != ".") {
+      parts.push_back(part);
+    }
+    start = end + 1;
+  }
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += '/';
+    out += part;
+  }
+  return out;
+}
+
+struct LayerEntry {
+  const char* prefix;
+  int rank;
+};
+
+/// The declared layer DAG, bottom to top (see the header comment).
+constexpr LayerEntry kLayers[] = {
+    {"src/util/", 0},
+    {"src/obs/", 1},
+    {"src/text/", 2},     {"src/la/", 2},        {"src/analysis/", 2},
+    {"src/data/", 3},     {"src/embedding/", 3}, {"src/ml/", 3},
+    {"src/nn/", 3},       {"src/matching/", 3},
+    {"src/core/", 4},
+    {"src/blocking/", 5}, {"src/explain/", 5},   {"src/baselines/", 5},
+    {"tools/", 6},        {"bench/", 6},         {"tests/", 6},
+    {"examples/", 6},
+};
+
+}  // namespace
+
+int LayerOf(const std::string& path) {
+  for (const LayerEntry& entry : kLayers) {
+    if (strings::StartsWith(path, entry.prefix)) return entry.rank;
+  }
+  return kLayerUnknown;
+}
+
+std::string LayerName(int layer) {
+  std::string name;
+  for (const LayerEntry& entry : kLayers) {
+    if (entry.rank != layer) continue;
+    std::string prefix(entry.prefix);
+    prefix.pop_back();  // Trailing '/'.
+    if (!name.empty()) name += '|';
+    name += prefix;
+  }
+  return name.empty() ? "unlayered" : name;
+}
+
+IncludeGraph BuildIncludeGraph(const SourceTree& tree) {
+  IncludeGraph graph;
+  for (size_t from = 0; from < tree.files.size(); ++from) {
+    const SourceFile& file = tree.files[from];
+    const std::string dir = Dirname(file.path);
+    for (size_t i = 0; i < file.lines.size(); ++i) {
+      const lint::LexedLine& line = file.lines[i];
+      if (!line.preprocessor) continue;
+      if (lint::FindWord(line.code, "include") == std::string::npos) continue;
+      const size_t open = line.code.find('"');
+      if (open == std::string::npos) continue;
+      const size_t close = line.code.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      const std::string target =
+          line.code.substr(open + 1, close - open - 1);
+      if (target.empty()) continue;
+      // Resolution mirrors the compiler: includer's directory first,
+      // then the build's -I src, then the repo root (tests and tools
+      // spell project includes src-relative, bench uses same-dir ones).
+      size_t to = SourceTree::npos;
+      for (const std::string& candidate :
+           {Normalize(dir.empty() ? target : dir + "/" + target),
+            Normalize("src/" + target), Normalize(target)}) {
+        to = tree.IndexOf(candidate);
+        if (to != SourceTree::npos) break;
+      }
+      if (to == SourceTree::npos) continue;  // System / external header.
+      graph.edges.push_back(
+          IncludeEdge{from, to, static_cast<int>(i + 1)});
+    }
+  }
+  return graph;
+}
+
+std::vector<lint::Finding> CheckLayering(const SourceTree& tree,
+                                         const IncludeGraph& graph,
+                                         int* suppressions_honored) {
+  std::vector<lint::Finding> findings;
+  // (file index, marker line) pairs consumed by a suppressed violation.
+  std::set<std::pair<size_t, int>> used;
+  for (const IncludeEdge& edge : graph.edges) {
+    const SourceFile& from = tree.files[edge.from];
+    const SourceFile& to = tree.files[edge.to];
+    const int from_layer = LayerOf(from.path);
+    const int to_layer = LayerOf(to.path);
+    if (from_layer == kLayerUnknown || to_layer == kLayerUnknown) continue;
+    if (to_layer <= from_layer) continue;
+    const lint::SuppressionMarker* marker =
+        FindSuppression(from, "layer-order", edge.line);
+    if (marker != nullptr) {
+      used.insert({edge.from, marker->line});
+      if (suppressions_honored != nullptr) ++*suppressions_honored;
+      continue;
+    }
+    findings.push_back(lint::Finding{
+        from.path, edge.line, "layer-order",
+        "#include \"" + to.path + "\" reaches up from layer " +
+            std::to_string(from_layer) + " (" + LayerName(from_layer) +
+            ") to layer " + std::to_string(to_layer) + " (" +
+            LayerName(to_layer) +
+            "); dependencies must point down the declared DAG"});
+  }
+  for (size_t f = 0; f < tree.files.size(); ++f) {
+    for (const lint::SuppressionMarker& marker : tree.files[f].suppressions) {
+      if (marker.check != "layer-order") continue;
+      if (used.count({f, marker.line}) != 0) continue;
+      findings.push_back(lint::Finding{
+          tree.files[f].path, marker.line, "stale-suppression",
+          "allow(layer-order) never matched an upward include on this or "
+          "the next line; delete the stale suppression"});
+    }
+  }
+  return findings;
+}
+
+std::vector<lint::Finding> CheckCycles(const SourceTree& tree,
+                                       const IncludeGraph& graph) {
+  const size_t n = tree.files.size();
+  // Adjacency (deduplicated, sorted) plus the line of the first edge
+  // for each (from, to) pair, for pinpointing the report.
+  std::vector<std::vector<size_t>> adjacent(n);
+  std::set<std::pair<size_t, size_t>> seen;
+  std::vector<std::vector<std::pair<size_t, int>>> edge_line(n);
+  for (const IncludeEdge& edge : graph.edges) {
+    if (seen.insert({edge.from, edge.to}).second) {
+      adjacent[edge.from].push_back(edge.to);
+      edge_line[edge.from].push_back({edge.to, edge.line});
+    }
+  }
+  const auto line_of = [&](size_t from, size_t to) {
+    for (const auto& [t, line] : edge_line[from]) {
+      if (t == to) return line;
+    }
+    return 0;
+  };
+
+  // Iterative Tarjan SCC.
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<size_t>> components;
+  int next_index = 0;
+  struct Frame {
+    size_t node;
+    size_t child = 0;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.child < adjacent[frame.node].size()) {
+        const size_t next = adjacent[frame.node][frame.child++];
+        if (index[next] == -1) {
+          index[next] = low[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back(Frame{next});
+        } else if (on_stack[next]) {
+          low[frame.node] = std::min(low[frame.node], index[next]);
+        }
+      } else {
+        if (low[frame.node] == index[frame.node]) {
+          std::vector<size_t> component;
+          while (true) {
+            const size_t member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            component.push_back(member);
+            if (member == frame.node) break;
+          }
+          if (component.size() > 1) {
+            components.push_back(std::move(component));
+          }
+        }
+        const size_t node = frame.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] = std::min(low[frames.back().node],
+                                             low[node]);
+        }
+      }
+    }
+  }
+  // Self-includes are their own (size-1) cycles.
+  for (size_t node = 0; node < n; ++node) {
+    if (seen.count({node, node}) != 0) components.push_back({node});
+  }
+
+  std::vector<lint::Finding> findings;
+  for (std::vector<size_t>& component : components) {
+    std::sort(component.begin(), component.end());
+    const size_t head = component[0];
+    // Walk a concrete cycle from the smallest member for the message:
+    // always step to the smallest in-component successor not yet
+    // visited (or back to the head), which is deterministic.
+    std::string path_text = tree.files[head].path;
+    std::set<size_t> in_component(component.begin(), component.end());
+    std::set<size_t> visited{head};
+    size_t at = head;
+    int report_line = 0;
+    while (true) {
+      size_t next = SourceTree::npos;
+      for (const size_t candidate : adjacent[at]) {
+        if (in_component.count(candidate) == 0) continue;
+        if (candidate == head) {
+          next = candidate;
+          break;
+        }
+        if (visited.count(candidate) == 0 &&
+            (next == SourceTree::npos || candidate < next)) {
+          next = candidate;
+        }
+      }
+      if (next == SourceTree::npos) break;
+      if (at == head) report_line = line_of(at, next);
+      path_text += " -> " + tree.files[next].path;
+      if (next == head) break;
+      visited.insert(next);
+      at = next;
+    }
+    findings.push_back(lint::Finding{
+        tree.files[head].path, report_line == 0 ? 1 : report_line,
+        "include-cycle",
+        "include cycle: " + path_text + "; break the cycle (forward-declare "
+        "or split the header)"});
+  }
+  return findings;
+}
+
+Report RunGraphPass(const SourceTree& tree) {
+  Report report;
+  report.pass = "graph";
+  report.files_scanned = static_cast<int>(tree.files.size());
+  const IncludeGraph graph = BuildIncludeGraph(tree);
+  report.findings = CheckLayering(tree, graph, &report.suppressions_honored);
+  std::vector<lint::Finding> cycles = CheckCycles(tree, graph);
+  report.findings.insert(report.findings.end(),
+                         std::make_move_iterator(cycles.begin()),
+                         std::make_move_iterator(cycles.end()));
+  for (const SourceFile& file : tree.files) {
+    for (const lint::SuppressionMarker& marker : file.suppressions) {
+      if (marker.check != "include-cycle") continue;
+      report.findings.push_back(lint::Finding{
+          file.path, marker.line, "stale-suppression",
+          "allow(include-cycle) is never honored — include cycles must be "
+          "broken, not suppressed; delete the marker"});
+    }
+  }
+  SortFindings(&report.findings);
+  return report;
+}
+
+}  // namespace wym::analysis

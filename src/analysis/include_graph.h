@@ -1,0 +1,90 @@
+#ifndef WYM_ANALYSIS_INCLUDE_GRAPH_H_
+#define WYM_ANALYSIS_INCLUDE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/findings.h"
+#include "analysis/source_model.h"
+
+/// \file
+/// Include-graph extractor and architecture checks (`wym_lint graph`).
+///
+/// Edges are quoted `#include "..."` directives resolved against the
+/// scanned tree (includer-relative first, then `src/`-relative, then
+/// repo-root-relative — mirroring the build's `-I src` plus the
+/// compiler's includer-directory rule). Unresolved includes (system and
+/// third-party headers) are ignored. Two checks run over the graph:
+///
+///  * `layer-order`: every edge must point sideways or downward in the
+///    declared layer DAG (see `LayerOf`). An upward include is an
+///    architecture violation reported at the `#include` line; a
+///    sanctioned exception carries a reasoned `allow(layer-order)`
+///    marker on that line.
+///  * `include-cycle`: the file-level include graph must be acyclic.
+///    Every strongly-connected component with more than one file (or a
+///    self-include) is reported once, at its lexicographically smallest
+///    member, with the full cycle path in the message.
+
+namespace wym::analysis {
+
+/// One resolved include edge.
+struct IncludeEdge {
+  size_t from = 0;  ///< Index into SourceTree::files.
+  size_t to = 0;    ///< Index into SourceTree::files.
+  int line = 0;     ///< 1-based line of the #include directive.
+};
+
+struct IncludeGraph {
+  /// All resolved edges, in (file, line) order.
+  std::vector<IncludeEdge> edges;
+};
+
+/// The layer rank of a repo-relative path in the declared DAG, bottom
+/// (0) to top; `kLayerUnknown` for paths outside the declared layout.
+///
+///   0  src/util
+///   1  src/obs
+///   2  src/text, src/la, src/analysis
+///   3  src/data, src/embedding, src/ml, src/nn, src/matching
+///   4  src/core
+///   5  src/blocking, src/explain, src/baselines
+///   6  tools, bench, tests, examples
+///
+/// Note one deliberate divergence from a naive reading of the module
+/// list: `src/matching` (stable marriage) is an algorithm library that
+/// depends only on `la`/`util` and is *consumed by* `core`, so it sits
+/// in the algorithms tier below core, not beside blocking/explain.
+int LayerOf(const std::string& path);
+
+inline constexpr int kLayerUnknown = -1;
+
+/// Human-readable name of the layer containing `path` ("src/core",
+/// "tools/bench/tests/examples", ...), for messages.
+std::string LayerName(int layer);
+
+/// Extracts the resolved include graph of `tree`.
+IncludeGraph BuildIncludeGraph(const SourceTree& tree);
+
+/// Runs the `layer-order` check. Honors `allow(layer-order)` markers on
+/// the include line (counting them in `*suppressions_honored` when
+/// non-null) and reports stale ones under `stale-suppression`.
+std::vector<lint::Finding> CheckLayering(const SourceTree& tree,
+                                         const IncludeGraph& graph,
+                                         int* suppressions_honored);
+
+/// Runs the `include-cycle` check (no suppression: an include cycle is
+/// never sanctioned — break it instead; an `allow(include-cycle)`
+/// marker is therefore stale by definition and reported as such).
+std::vector<lint::Finding> CheckCycles(const SourceTree& tree,
+                                       const IncludeGraph& graph);
+
+/// The whole `wym_lint graph` pass: build graph, run both checks,
+/// account for this pass's suppressions (used and stale), sort.
+/// Malformed markers are NOT re-reported here — the token lint pass
+/// owns those findings.
+Report RunGraphPass(const SourceTree& tree);
+
+}  // namespace wym::analysis
+
+#endif  // WYM_ANALYSIS_INCLUDE_GRAPH_H_

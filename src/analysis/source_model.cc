@@ -1,0 +1,38 @@
+#include "analysis/source_model.h"
+
+#include <algorithm>
+
+namespace wym::analysis {
+
+void SourceTree::Add(const std::string& path, const std::string& text) {
+  SourceFile file;
+  file.path = path;
+  file.text = text;
+  file.lines = lint::LexLines(text);
+  file.suppressions =
+      lint::CollectSuppressionMarkers(path, file.lines, &file.marker_findings);
+  const auto at = std::lower_bound(
+      files.begin(), files.end(), path,
+      [](const SourceFile& f, const std::string& p) { return f.path < p; });
+  files.insert(at, std::move(file));
+}
+
+size_t SourceTree::IndexOf(const std::string& path) const {
+  const auto at = std::lower_bound(
+      files.begin(), files.end(), path,
+      [](const SourceFile& f, const std::string& p) { return f.path < p; });
+  if (at == files.end() || at->path != path) return npos;
+  return static_cast<size_t>(at - files.begin());
+}
+
+const lint::SuppressionMarker* FindSuppression(const SourceFile& file,
+                                               const std::string& check,
+                                               int line) {
+  for (const lint::SuppressionMarker& marker : file.suppressions) {
+    if (marker.check != check) continue;
+    if (marker.line == line || marker.line + 1 == line) return &marker;
+  }
+  return nullptr;
+}
+
+}  // namespace wym::analysis

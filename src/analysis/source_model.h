@@ -1,0 +1,58 @@
+#ifndef WYM_ANALYSIS_SOURCE_MODEL_H_
+#define WYM_ANALYSIS_SOURCE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/source_scan.h"
+
+/// \file
+/// In-memory model of the repository's source text for the cross-TU
+/// analyzers (`wym_lint graph` / `wym_lint taint`, DESIGN.md "Static
+/// analysis v2"). A `SourceTree` is just the scanned files in sorted
+/// path order, each pre-lexed once with the `wym::lint` lexer and its
+/// suppression markers pre-parsed — so the include-graph, call-graph
+/// and taint passes share one lexing pass and so tests can assemble
+/// fixture trees from string literals without touching a filesystem.
+
+namespace wym::analysis {
+
+/// One scanned file: repo-relative '/'-separated path, raw text, and
+/// the derived per-line views the passes consume.
+struct SourceFile {
+  std::string path;
+  std::string text;
+  std::vector<lint::LexedLine> lines;
+  std::vector<lint::SuppressionMarker> suppressions;
+  /// Malformed-marker findings surfaced during parsing. The token lint
+  /// pass owns reporting these (ScanSource re-derives them); they are
+  /// kept here so fixture tests can assert a broken marker never lands
+  /// in `suppressions` — fail-safe: it suppresses nothing.
+  std::vector<lint::Finding> marker_findings;
+};
+
+/// The scanned tree. Files are kept sorted by path so every pass
+/// iterates — and therefore reports — in one deterministic order
+/// regardless of how the files were discovered.
+struct SourceTree {
+  std::vector<SourceFile> files;
+
+  /// Lexes `text` and appends it under `path`. Keeps `files` sorted.
+  void Add(const std::string& path, const std::string& text);
+
+  /// Index of `path` in `files`, or npos.
+  size_t IndexOf(const std::string& path) const;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+};
+
+/// True when a marker for `check` sits on `line` or the line directly
+/// above it — the same two-line coverage rule the token-level scanner
+/// applies (a standalone marker comment excuses the line below it).
+const lint::SuppressionMarker* FindSuppression(const SourceFile& file,
+                                               const std::string& check,
+                                               int line);
+
+}  // namespace wym::analysis
+
+#endif  // WYM_ANALYSIS_SOURCE_MODEL_H_

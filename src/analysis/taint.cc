@@ -1,0 +1,191 @@
+#include "analysis/taint.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace wym::analysis {
+
+namespace {
+
+/// One live nondeterminism source inside a definition body.
+struct Seed {
+  size_t def = 0;  ///< Index into CallGraph::defs.
+  int line = 0;    ///< 1-based seed line.
+  std::string what;
+};
+
+/// Classifies one code line as a seed. Returns the description, or ""
+/// when clean; `*token_check` gets the token-level check id whose
+/// suppression also clears this seed ("" when only `allow(taint-flow)`
+/// applies).
+std::string ClassifySeed(const std::string& code,
+                         std::string* token_check) {
+  token_check->clear();
+  if (lint::HasWord(code, "std::rand") || lint::HasCall(code, "rand") ||
+      lint::HasCall(code, "srand") ||
+      lint::HasWord(code, "random_device") || lint::HasCall(code, "time")) {
+    *token_check = "no-rand";
+    return "draws raw randomness (rand/random_device/time)";
+  }
+  for (const char* clock :
+       {"steady_clock", "system_clock", "high_resolution_clock"}) {
+    if (lint::HasWord(code, clock)) {
+      *token_check = "no-raw-clock";
+      return std::string("reads a raw std::chrono clock (") + clock + ")";
+    }
+  }
+  {
+    size_t p = code.find("::now");
+    while (p != std::string::npos) {
+      size_t e = p + 5;
+      while (e < code.size() && code[e] == ' ') ++e;
+      if (e < code.size() && code[e] == '(') {
+        *token_check = "no-raw-clock";
+        return "reads a raw clock via ::now()";
+      }
+      p = code.find("::now", p + 1);
+    }
+  }
+  if (lint::FindWord(code, "for") != std::string::npos &&
+      (lint::HasWord(code, "unordered_map") ||
+       lint::HasWord(code, "unordered_set"))) {
+    *token_check = "unordered-iteration";
+    return "iterates a hash container (hash order is nondeterministic)";
+  }
+  if (lint::HasCall(code, "get_id")) {
+    return "reads a thread id";
+  }
+  if (lint::HasWord(code, "uintptr_t")) {
+    return "converts a pointer to an integer (addresses vary per run)";
+  }
+  return std::string();
+}
+
+/// Qualified-name sink patterns: exact names and prefixes.
+bool IsSinkName(const std::string& name) {
+  if (name == "Fit" || name == "SaveToFile") return true;
+  for (const char* prefix : {"Predict", "Explain", "Save", "Serialize"}) {
+    if (strings::StartsWith(name, prefix)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsTaintSink(const FunctionDef& def, const std::string& path) {
+  return strings::StartsWith(path, "src/") && IsSinkName(def.Name());
+}
+
+Report RunTaintPass(const SourceTree& tree) {
+  Report report;
+  report.pass = "taint";
+  report.files_scanned = static_cast<int>(tree.files.size());
+
+  const CallGraph graph = BuildCallGraph(tree);
+
+  // --- Seed, honoring suppressions at the seed line. ---
+  std::vector<Seed> seeds;
+  // (file index, marker line) of every allow(taint-flow) marker that
+  // cleared a seed; anything left over is stale. Markers of *token*
+  // checks that clear a seed are honored here too, but their stale
+  // accounting belongs to the lint pass.
+  std::set<std::pair<size_t, int>> used_taint_markers;
+  for (size_t d = 0; d < graph.defs.size(); ++d) {
+    const FunctionDef& def = graph.defs[d];
+    const SourceFile& file = tree.files[def.file];
+    if (strings::StartsWith(file.path, "src/util/")) continue;
+    for (int line = def.body_begin; line <= def.body_end; ++line) {
+      const size_t i = static_cast<size_t>(line - 1);
+      if (i >= file.lines.size() || file.lines[i].preprocessor) continue;
+      std::string token_check;
+      const std::string what = ClassifySeed(file.lines[i].code,
+                                            &token_check);
+      if (what.empty()) continue;
+      const lint::SuppressionMarker* marker =
+          FindSuppression(file, "taint-flow", line);
+      if (marker == nullptr && !token_check.empty()) {
+        marker = FindSuppression(file, token_check, line);
+      }
+      if (marker != nullptr) {
+        if (marker->check == "taint-flow") {
+          used_taint_markers.insert({def.file, marker->line});
+        }
+        ++report.suppressions_honored;
+        continue;
+      }
+      seeds.push_back(Seed{d, line, what});
+    }
+  }
+
+  // --- Propagate: shortest chain from each sink to a seeded callee. ---
+  std::map<size_t, const Seed*> seeded_defs;
+  for (const Seed& seed : seeds) {
+    if (seeded_defs.count(seed.def) == 0) seeded_defs[seed.def] = &seed;
+  }
+  for (size_t d = 0; d < graph.defs.size(); ++d) {
+    const FunctionDef& sink = graph.defs[d];
+    const std::string& sink_path = tree.files[sink.file].path;
+    if (!IsTaintSink(sink, sink_path)) continue;
+    // BFS over callees. Parent links reconstruct the chain; visiting in
+    // ascending def order per level keeps it deterministic.
+    std::map<size_t, size_t> parent;
+    std::deque<size_t> queue{d};
+    std::set<size_t> visited{d};
+    size_t hit = SourceTree::npos;
+    while (!queue.empty() && hit == SourceTree::npos) {
+      const size_t at = queue.front();
+      queue.pop_front();
+      if (seeded_defs.count(at) != 0) {
+        hit = at;
+        break;
+      }
+      for (const size_t callee : graph.CalleesOf(at)) {
+        if (!visited.insert(callee).second) continue;
+        parent[callee] = at;
+        queue.push_back(callee);
+      }
+    }
+    if (hit == SourceTree::npos) continue;
+    std::vector<size_t> chain{hit};
+    while (chain.back() != d) chain.push_back(parent[chain.back()]);
+    std::reverse(chain.begin(), chain.end());
+    const Seed& seed = *seeded_defs[hit];
+    std::string chain_text;
+    for (const size_t step : chain) {
+      if (!chain_text.empty()) chain_text += " -> ";
+      chain_text += graph.defs[step].qualified_name;
+    }
+    report.findings.push_back(lint::Finding{
+        sink_path, sink.line, "taint-flow",
+        "nondeterminism reaches entry point '" + sink.qualified_name +
+            "': " + chain_text + "; " +
+            graph.defs[seed.def].qualified_name + " (" +
+            tree.files[graph.defs[seed.def].file].path + ":" +
+            std::to_string(seed.line) + ") " + seed.what +
+            "; make the source deterministic or add a reasoned "
+            "wym-lint: allow(taint-flow) at the seed line"});
+  }
+
+  // --- Stale allow(taint-flow) markers. ---
+  for (size_t f = 0; f < tree.files.size(); ++f) {
+    for (const lint::SuppressionMarker& marker : tree.files[f].suppressions) {
+      if (marker.check != "taint-flow") continue;
+      if (used_taint_markers.count({f, marker.line}) != 0) continue;
+      report.findings.push_back(lint::Finding{
+          tree.files[f].path, marker.line, "stale-suppression",
+          "allow(taint-flow) cleared no nondeterminism seed on this or "
+          "the next line; delete the stale suppression (it belongs at "
+          "the seed, not the sink)"});
+    }
+  }
+
+  SortFindings(&report.findings);
+  return report;
+}
+
+}  // namespace wym::analysis

@@ -1,0 +1,52 @@
+#ifndef WYM_ANALYSIS_TAINT_H_
+#define WYM_ANALYSIS_TAINT_H_
+
+#include <string>
+
+#include "analysis/call_graph.h"
+#include "analysis/findings.h"
+#include "analysis/source_model.h"
+
+/// \file
+/// Determinism taint pass (`wym_lint taint`). The repo's north-star
+/// guarantee is bit-identical artifacts and explanations; the token
+/// lint enforces that per line, this pass enforces it per *flow*:
+///
+///  * **Seeds** are nondeterminism sources found in function bodies —
+///    raw randomness (`rand`, `std::random_device`, `time()`), raw
+///    clocks (`std::chrono` clock types, `::now()`), hash-container
+///    iteration in a `for`, thread ids (`get_id`) and pointer-as-key
+///    arithmetic (`uintptr_t`). `src/util/` is exempt: it is the
+///    sanctioned home of the deterministic wrappers (`wym::Rng`,
+///    `util::Stopwatch`) whose internals must touch the raw sources.
+///  * **Sinks** are the entry points whose output is promised
+///    bit-identical: `src/` definitions named `Fit`, `SaveToFile`,
+///    `Predict*`, `Explain*`, `Save*` or `Serialize*`.
+///  * Taint propagates from callees to callers along the approximate
+///    call graph. A sink whose transitive callees include a live seed
+///    is a `taint-flow` finding, reported at the sink's definition with
+///    the shortest call chain in the message.
+///
+/// A seed is cleared by a reasoned `allow(taint-flow)` marker on the
+/// seed line (or the line above), or by the marker of the
+/// corresponding token check (`no-rand`, `no-raw-clock`,
+/// `unordered-iteration`) — one reasoned exemption should not need
+/// restating for two passes. An `allow(taint-flow)` marker that clears
+/// no seed is reported under `stale-suppression` (exit 6): suppressions
+/// live at the source of nondeterminism, not at the sink.
+
+namespace wym::analysis {
+
+/// True when `def` (defined in the file at `path`) is a determinism
+/// sink: a `src/` model-serialization or predict/explain entry point.
+bool IsTaintSink(const FunctionDef& def, const std::string& path);
+
+/// The whole `wym_lint taint` pass: build the call graph, seed, clear
+/// suppressed seeds, propagate, report tainted sinks and stale
+/// `allow(taint-flow)` markers, sort. Deterministic: same tree in,
+/// byte-identical report out.
+Report RunTaintPass(const SourceTree& tree);
+
+}  // namespace wym::analysis
+
+#endif  // WYM_ANALYSIS_TAINT_H_

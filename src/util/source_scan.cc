@@ -17,10 +17,10 @@ bool IsIdentChar(char c) {
 
 bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
 
-/// Finds `needle` in `hay` with identifier boundaries on both sides
-/// (the characters adjacent to the match, if any, are not [A-Za-z0-9_]).
+}  // namespace
+
 size_t FindWord(const std::string& hay, const std::string& needle,
-                size_t from = 0) {
+                size_t from) {
   while (from <= hay.size()) {
     const size_t p = hay.find(needle, from);
     if (p == std::string::npos) return std::string::npos;
@@ -37,9 +37,6 @@ bool HasWord(const std::string& hay, const std::string& needle) {
   return FindWord(hay, needle) != std::string::npos;
 }
 
-/// True when `name` occurs as an identifier immediately followed
-/// (modulo whitespace) by an opening parenthesis — a call or
-/// function-style cast.
 bool HasCall(const std::string& hay, const std::string& name) {
   size_t from = 0;
   size_t p;
@@ -51,8 +48,6 @@ bool HasCall(const std::string& hay, const std::string& name) {
   }
   return false;
 }
-
-}  // namespace
 
 std::vector<LexedLine> LexLines(const std::string& text) {
   enum : uint8_t { kCode = 0, kComment = 1, kStringBody = 2, kStringDelim = 3 };
@@ -242,6 +237,13 @@ const std::vector<std::string>& AllCheckNames() {
       "todo-issue",
       "unchecked-status",
       "lint-suppression",
+      "stale-suppression",
+      // Cross-TU checks emitted by `wym_lint graph` / `wym_lint taint`
+      // (src/analysis), registered here so their suppression markers
+      // validate under every pass.
+      "layer-order",
+      "include-cycle",
+      "taint-flow",
   };
   return kNames;
 }
@@ -249,6 +251,11 @@ const std::vector<std::string>& AllCheckNames() {
 bool IsKnownCheck(const std::string& name) {
   const auto& names = AllCheckNames();
   return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+bool IsTokenCheck(const std::string& name) {
+  return IsKnownCheck(name) && name != "layer-order" &&
+         name != "include-cycle" && name != "taint-flow";
 }
 
 namespace {
@@ -867,66 +874,59 @@ void CheckUncheckedStatus(const FileCtx& ctx, std::vector<Finding>* out) {
 // Suppressions
 // --------------------------------------------------------------------------
 
-struct Suppression {
-  size_t line_index;
-  std::string check;
-  std::string reason;
-  bool used = false;
-};
+}  // namespace
 
-/// Parses suppression markers (see source_scan.h for the syntax);
-/// malformed ones become lint-suppression findings immediately.
-std::vector<Suppression> CollectSuppressions(const FileCtx& ctx,
-                                             std::vector<Finding>* out) {
-  std::vector<Suppression> result;
-  for (size_t i = 0; i < ctx.lines.size(); ++i) {
-    const std::string& comment = ctx.lines[i].comment;
+std::vector<SuppressionMarker> CollectSuppressionMarkers(
+    const std::string& path, const std::vector<LexedLine>& lines,
+    std::vector<Finding>* malformed) {
+  const auto emit = [&](size_t i, std::string message) {
+    if (malformed != nullptr) {
+      malformed->push_back(Finding{path, static_cast<int>(i + 1),
+                                   "lint-suppression", std::move(message)});
+    }
+  };
+  std::vector<SuppressionMarker> result;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& comment = lines[i].comment;
     const size_t marker = comment.find("wym-lint:");
     if (marker == std::string::npos) continue;
     size_t p = marker + 9;
     while (p < comment.size() && IsSpace(comment[p])) ++p;
     if (comment.compare(p, 6, "allow(") != 0) {
-      Emit(ctx, i, "lint-suppression",
+      emit(i,
            "malformed wym-lint marker; write "
-           "// wym-lint: allow(check-name): reason",
-           out);
+           "// wym-lint: allow(check-name): reason");
       continue;
     }
     p += 6;
     const size_t close = comment.find(')', p);
     if (close == std::string::npos) {
-      Emit(ctx, i, "lint-suppression", "unterminated allow(...)", out);
+      emit(i, "unterminated allow(...)");
       continue;
     }
     const std::string check = strings::Trim(comment.substr(p, close - p));
     if (!IsKnownCheck(check)) {
-      Emit(ctx, i, "lint-suppression",
-           "allow(" + check + ") names no known check; see wym_lint "
-           "--list-checks",
-           out);
+      emit(i, "allow(" + check + ") names no known check; see wym_lint "
+              "--list-checks");
       continue;
     }
     size_t r = close + 1;
     while (r < comment.size() && IsSpace(comment[r])) ++r;
     if (r >= comment.size() || comment[r] != ':') {
-      Emit(ctx, i, "lint-suppression",
-           "allow(" + check + ") without a reason; a suppression must "
-           "explain itself: allow(" + check + "): why",
-           out);
+      emit(i, "allow(" + check + ") without a reason; a suppression must "
+              "explain itself: allow(" + check + "): why");
       continue;
     }
     const std::string reason = strings::Trim(comment.substr(r + 1));
     if (reason.empty()) {
-      Emit(ctx, i, "lint-suppression",
-           "allow(" + check + ") with an empty reason", out);
+      emit(i, "allow(" + check + ") with an empty reason");
       continue;
     }
-    result.push_back(Suppression{i, check, reason, false});
+    result.push_back(
+        SuppressionMarker{static_cast<int>(i + 1), check, reason});
   }
   return result;
 }
-
-}  // namespace
 
 std::vector<Finding> ScanSource(const std::string& path,
                                 const std::string& text, ScanStats* stats) {
@@ -934,7 +934,22 @@ std::vector<Finding> ScanSource(const std::string& path,
   const FileCtx ctx{path, lines};
 
   std::vector<Finding> raw;
-  std::vector<Suppression> suppressions = CollectSuppressions(ctx, &raw);
+  // Markers naming analysis-pass checks (layer-order, include-cycle,
+  // taint-flow) are validated here but owned — used/stale accounting —
+  // by `wym_lint graph` / `wym_lint taint`; the token scan must neither
+  // honor nor stale-report them.
+  struct Suppression {
+    size_t line_index;
+    std::string check;
+    bool used = false;
+  };
+  std::vector<Suppression> suppressions;
+  for (const SuppressionMarker& marker :
+       CollectSuppressionMarkers(path, lines, &raw)) {
+    if (!IsTokenCheck(marker.check)) continue;
+    suppressions.push_back(
+        Suppression{static_cast<size_t>(marker.line - 1), marker.check});
+  }
   CheckNoRand(ctx, &raw);
   CheckNoRawClock(ctx, &raw);
   CheckUnorderedIteration(ctx, &raw);
@@ -975,7 +990,7 @@ std::vector<Finding> ScanSource(const std::string& path,
     if (!s.used) {
       findings.push_back(
           Finding{ctx.path, static_cast<int>(s.line_index + 1),
-                  "lint-suppression",
+                  "stale-suppression",
                   "allow(" + s.check + ") never matched a finding on this "
                   "or the next line; delete the stale suppression"});
     }

@@ -27,8 +27,11 @@
 ///
 /// A suppression covers its own line and the following line (so a
 /// standalone comment can precede the code it excuses). The reason
-/// string is mandatory; an absent reason, an unknown check name or an
-/// unused suppression is itself reported under `lint-suppression`.
+/// string is mandatory; an absent reason or an unknown check name is
+/// itself reported under `lint-suppression`, and a suppression that
+/// matches no finding is reported under `stale-suppression` — the
+/// drivers map that to its own exit code (6) so a stale marker can
+/// never silently outlive the code it excused.
 
 namespace wym::lint {
 
@@ -53,6 +56,21 @@ struct LexedLine {
 /// continuations.
 std::vector<LexedLine> LexLines(const std::string& text);
 
+/// Finds `needle` in `hay` with identifier boundaries on both sides
+/// (the characters adjacent to the match, if any, are not [A-Za-z0-9_]).
+/// Returns std::string::npos when absent. Exported for the cross-TU
+/// analyzers in src/analysis, which pattern-match the same code views.
+size_t FindWord(const std::string& hay, const std::string& needle,
+                size_t from = 0);
+
+/// True when `needle` occurs as a whole identifier in `hay`.
+bool HasWord(const std::string& hay, const std::string& needle);
+
+/// True when `name` occurs as an identifier immediately followed
+/// (modulo whitespace) by an opening parenthesis — a call or
+/// function-style cast.
+bool HasCall(const std::string& hay, const std::string& name);
+
 /// One rule violation.
 struct Finding {
   std::string path;   ///< Repo-relative path, '/'-separated.
@@ -64,6 +82,24 @@ struct Finding {
 /// Renders "path:line: [check] message" — the contract the ctest gate
 /// and the acceptance tests grep for.
 std::string FormatFinding(const Finding& finding);
+
+/// One well-formed suppression marker, independent of whether anything
+/// ever matches it. The cross-TU passes (`wym_lint graph` / `taint`)
+/// parse markers through this so line-level suppression means the same
+/// thing in every pass.
+struct SuppressionMarker {
+  int line = 0;  ///< 1-based line the marker comment sits on.
+  std::string check;
+  std::string reason;
+};
+
+/// Parses every well-formed allow-marker comment in `lines`.
+/// Malformed markers (bad syntax, unknown check, missing
+/// reason) become `lint-suppression` findings in `*malformed` when it
+/// is non-null; they never appear in the returned list.
+std::vector<SuppressionMarker> CollectSuppressionMarkers(
+    const std::string& path, const std::vector<LexedLine>& lines,
+    std::vector<Finding>* malformed);
 
 /// Scan statistics, mostly for the driver's summary line.
 struct ScanStats {
@@ -78,11 +114,20 @@ std::vector<Finding> ScanSource(const std::string& path,
                                 ScanStats* stats = nullptr);
 
 /// All check names the scanner knows, for --list-checks and the
-/// suppression validator.
+/// suppression validator. Includes the cross-TU analysis checks
+/// (`layer-order`, `include-cycle`, `taint-flow`) so their markers
+/// validate, even though `ScanSource` itself never emits them.
 const std::vector<std::string>& AllCheckNames();
 
 /// True when `name` names a known check.
 bool IsKnownCheck(const std::string& name);
+
+/// True when `name` is one of the token-level checks `ScanSource` owns.
+/// Markers naming other (analysis-pass) checks are parsed and validated
+/// by `ScanSource` but their use/stale accounting belongs to the pass
+/// that emits the check — `wym_lint graph` and `wym_lint taint` each
+/// track their own.
+bool IsTokenCheck(const std::string& name);
 
 }  // namespace wym::lint
 

@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+// Status factories count error events so failures are observable without
+// every caller instrumenting; obs sits below util at link time.
+// wym-lint: allow(layer-order): sanctioned util->obs edge (see DESIGN.md)
 #include "obs/metrics.h"
 
 namespace wym {

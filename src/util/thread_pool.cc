@@ -3,7 +3,11 @@
 #include <cstdlib>
 #include <utility>
 
+// The pool publishes queue/steal counters and spans itself so every
+// parallel section is traced; obs sits below util at link time.
+// wym-lint: allow(layer-order): sanctioned util->obs edge (see DESIGN.md)
 #include "obs/metrics.h"
+// wym-lint: allow(layer-order): sanctioned util->obs edge (see DESIGN.md)
 #include "obs/trace.h"
 
 namespace wym::util {

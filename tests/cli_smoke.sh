@@ -2,9 +2,12 @@
 # End-to-end smoke test of the wym_cli binary: generate -> profile ->
 # train (+save) -> explain (load) -> stats -> verify, plus the exit-code
 # contract (1 = usage, 2 = I/O error, 3 = corruption). Run by ctest with
-# the CLI path as $1.
+# the CLI path as $1 and (optionally) the wym_lint path as $2, which
+# enables the analyzer's own exit-code contract checks (0 = clean,
+# 5 = findings, 6 = stale suppression) against throwaway fixture trees.
 set -e
 CLI="$1"
+LINT="$2"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -72,5 +75,70 @@ expect_exit 1 "$CLI" generate --dataset NOPE --out "$WORK/x.csv"
 # A truncated save must never leave a damaged file behind: verify still
 # passes on the original after the failed overwrite attempt above.
 "$CLI" verify --model "$WORK/model.wym" > /dev/null
+
+# ---------------------------------------------------------------------
+# wym_lint exit-code contract (when the analyzer path was provided).
+# Findings go to stdout, not stderr, so this needs its own helper.
+if [ -n "$LINT" ]; then
+  expect_lint_exit() {
+    want="$1"
+    shift
+    set +e
+    "$@" > "$WORK/lint-out.txt" 2>&1
+    got=$?
+    set -e
+    if [ "$got" -ne "$want" ]; then
+      echo "expected exit $want, got $got from: $*" >&2
+      cat "$WORK/lint-out.txt" >&2
+      exit 1
+    fi
+  }
+
+  # Exit 0: a clean fixture tree.
+  mkdir -p "$WORK/clean/src/core"
+  printf 'namespace wym::core {\nint F() { return 1; }\n}\n' \
+    > "$WORK/clean/src/core/m.cc"
+  expect_lint_exit 0 "$LINT" lint "$WORK/clean"
+  expect_lint_exit 0 "$LINT" graph "$WORK/clean"
+  expect_lint_exit 0 "$LINT" taint "$WORK/clean"
+
+  # Exit 5: an upward include (src/la reaching into src/core).
+  mkdir -p "$WORK/up/src/la" "$WORK/up/src/core"
+  printf '#pragma once\n' > "$WORK/up/src/core/model.h"
+  printf '#include "core/model.h"\n' > "$WORK/up/src/la/vec.cc"
+  expect_lint_exit 5 "$LINT" graph "$WORK/up"
+  grep -q 'layer-order' "$WORK/lint-out.txt"
+
+  # Exit 5: a taint chain (raw clock helper called from SaveToFile).
+  mkdir -p "$WORK/taint/src/core"
+  {
+    printf 'namespace wym::core {\n'
+    printf 'long Ticks() { return std::chrono::steady_clock::now()'
+    printf '.time_since_epoch().count(); }\n'
+    printf 'void SaveToFile(const char* p) { long t = Ticks(); '
+    printf '(void)p; (void)t; }\n'
+    printf '}\n'
+  } > "$WORK/taint/src/core/m.cc"
+  expect_lint_exit 5 "$LINT" taint "$WORK/taint"
+  grep -q 'taint-flow' "$WORK/lint-out.txt"
+
+  # Exit 6: a stale suppression outranks plain findings.
+  mkdir -p "$WORK/stale/src/core"
+  {
+    printf '// wym-lint: allow(layer-order): excuses nothing\n'
+    printf 'int x;\n'
+  } > "$WORK/stale/src/core/m.cc"
+  expect_lint_exit 6 "$LINT" graph "$WORK/stale"
+  grep -q 'stale-suppression' "$WORK/lint-out.txt"
+
+  # JSON output is schema-tagged and byte-identical across runs.
+  "$LINT" taint "$WORK/taint" --format=json > "$WORK/a.json" || true
+  "$LINT" taint "$WORK/taint" --format=json > "$WORK/b.json" || true
+  grep -q 'wym-analysis-report/v1' "$WORK/a.json"
+  cmp -s "$WORK/a.json" "$WORK/b.json"
+
+  # Exit 2 stays reserved for usage / IO errors.
+  expect_exit 2 "$LINT" graph "$WORK/no-such-dir"
+fi
 
 echo "cli smoke OK"

@@ -543,8 +543,22 @@ TEST(SuppressionTest, DoesNotReachPastTheNextLine) {
       "int a;\n"
       "int f() { return std::rand(); }\n");
   EXPECT_TRUE(HasCheck(findings, "no-rand"));
-  // And the marker is now stale, which is itself a finding.
-  EXPECT_TRUE(HasCheck(findings, "lint-suppression"));
+  // And the marker is now stale, which is itself a finding — under its
+  // own check id so the drivers can map it to exit code 6.
+  EXPECT_TRUE(HasCheck(findings, "stale-suppression"));
+}
+
+TEST(SuppressionTest, AnalysisCheckMarkersAreNotStaleForTheLintPass) {
+  // allow(layer-order) etc. belong to `wym_lint graph` / `taint`; the
+  // token pass must validate them but never do their stale accounting.
+  const auto findings = Scan(
+      "src/core/x.cc",
+      "// wym-lint: allow(layer-order): owned by the graph pass\n"
+      "// wym-lint: allow(taint-flow): owned by the taint pass\n"
+      "// wym-lint: allow(include-cycle): owned by the graph pass\n"
+      "int x;\n");
+  EXPECT_FALSE(HasCheck(findings, "stale-suppression"));
+  EXPECT_FALSE(HasCheck(findings, "lint-suppression"));
 }
 
 TEST(SuppressionTest, WrongCheckNameDoesNotSuppress) {
@@ -583,8 +597,50 @@ TEST(FormatFindingTest, MatchesTheDocumentedContract) {
 TEST(CheckCatalogTest, KnownChecksAreStableAndQueryable) {
   EXPECT_TRUE(IsKnownCheck("no-rand"));
   EXPECT_TRUE(IsKnownCheck("lint-suppression"));
+  EXPECT_TRUE(IsKnownCheck("stale-suppression"));
   EXPECT_FALSE(IsKnownCheck("definitely-not-a-check"));
   EXPECT_GE(AllCheckNames().size(), 12u);
+}
+
+TEST(CheckCatalogTest, AnalysisChecksRegisterButAreNotTokenChecks) {
+  // The cross-TU checks validate as marker names everywhere, but their
+  // use/stale accounting belongs to the graph/taint passes.
+  for (const char* name : {"layer-order", "include-cycle", "taint-flow"}) {
+    EXPECT_TRUE(IsKnownCheck(name)) << name;
+    EXPECT_FALSE(IsTokenCheck(name)) << name;
+  }
+  EXPECT_TRUE(IsTokenCheck("no-rand"));
+  EXPECT_TRUE(IsTokenCheck("stale-suppression"));
+  EXPECT_FALSE(IsTokenCheck("definitely-not-a-check"));
+}
+
+TEST(MarkerParserTest, CollectsWellFormedMarkersAndReportsMalformed) {
+  const auto lines = LexLines(
+      "int a;  // wym-lint: allow(no-rand): first\n"
+      "// wym-lint: allow(layer-order): second\n"
+      "// wym-lint: allow(no-rand)\n"        // missing reason
+      "// wym-lint: allow(nope): unknown\n"  // unknown check
+      "auto s = \"// wym-lint: allow(no-rand): in a string\";\n");
+  std::vector<Finding> malformed;
+  const auto markers = CollectSuppressionMarkers("src/a.cc", lines,
+                                                 &malformed);
+  ASSERT_EQ(markers.size(), 2u);
+  EXPECT_EQ(markers[0].line, 1);
+  EXPECT_EQ(markers[0].check, "no-rand");
+  EXPECT_EQ(markers[0].reason, "first");
+  EXPECT_EQ(markers[1].line, 2);
+  EXPECT_EQ(markers[1].check, "layer-order");
+  ASSERT_EQ(malformed.size(), 2u);
+  EXPECT_EQ(malformed[0].line, 3);
+  EXPECT_EQ(malformed[1].line, 4);
+}
+
+TEST(LexHelperTest, WordAndCallMatchingRespectsIdentifierBoundaries) {
+  EXPECT_TRUE(HasWord("steady_clock::now()", "steady_clock"));
+  EXPECT_FALSE(HasWord("mysteady_clock", "steady_clock"));
+  EXPECT_EQ(FindWord("xrand rand", "rand"), 6u);
+  EXPECT_TRUE(HasCall("get_id ()", "get_id"));
+  EXPECT_FALSE(HasCall("get_id;", "get_id"));
 }
 
 TEST(ScanSourceTest, FindingsAreSortedByLine) {
