@@ -54,6 +54,7 @@ constexpr LayerEntry kLayers[] = {
     {"src/nn/", 3},       {"src/matching/", 3},
     {"src/core/", 4},
     {"src/blocking/", 5}, {"src/explain/", 5},   {"src/baselines/", 5},
+    {"src/serve/", 5},
     {"tools/", 6},        {"bench/", 6},         {"tests/", 6},
     {"examples/", 6},
 };

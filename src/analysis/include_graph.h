@@ -48,7 +48,7 @@ struct IncludeGraph {
 ///   2  src/text, src/la, src/analysis
 ///   3  src/data, src/embedding, src/ml, src/nn, src/matching
 ///   4  src/core
-///   5  src/blocking, src/explain, src/baselines
+///   5  src/blocking, src/explain, src/baselines, src/serve
 ///   6  tools, bench, tests, examples
 ///
 /// Note one deliberate divergence from a naive reading of the module

@@ -78,7 +78,17 @@ bool IsSinkName(const std::string& name) {
 }  // namespace
 
 bool IsTaintSink(const FunctionDef& def, const std::string& path) {
-  return strings::StartsWith(path, "src/") && IsSinkName(def.Name());
+  if (!strings::StartsWith(path, "src/")) return false;
+  // The serving layer adds the response-serialization path to the
+  // bit-identical promise: what goes on the wire for a given Response
+  // value must be a pure function of that value, so no clock,
+  // randomness, or hash-order source may reach the Render* functions
+  // of src/serve (protocol serializers).
+  if (strings::StartsWith(path, "src/serve/") &&
+      strings::StartsWith(def.Name(), "Render")) {
+    return true;
+  }
+  return IsSinkName(def.Name());
 }
 
 Report RunTaintPass(const SourceTree& tree) {

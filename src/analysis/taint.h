@@ -21,7 +21,9 @@
 ///    `util::Stopwatch`) whose internals must touch the raw sources.
 ///  * **Sinks** are the entry points whose output is promised
 ///    bit-identical: `src/` definitions named `Fit`, `SaveToFile`,
-///    `Predict*`, `Explain*`, `Save*` or `Serialize*`.
+///    `Predict*`, `Explain*`, `Save*` or `Serialize*`; plus, in
+///    `src/serve/`, the `Render*` protocol serializers — the wire
+///    bytes of a response must be a pure function of its value.
 ///  * Taint propagates from callees to callers along the approximate
 ///    call graph. A sink whose transitive callees include a live seed
 ///    is a `taint-flow` finding, reported at the sink's definition with

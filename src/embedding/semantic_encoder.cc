@@ -47,27 +47,6 @@ void SemanticEncoder::Fit(
   fitted_ = true;
 }
 
-bool SemanticEncoder::TokenEmbeddingCache::Lookup(const std::string& token,
-                                                  la::Vec* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = map_.find(token);
-  if (it == map_.end()) return false;
-  *out = it->second;
-  return true;
-}
-
-void SemanticEncoder::TokenEmbeddingCache::Insert(const std::string& token,
-                                                  const la::Vec& value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (map_.size() >= kMaxEntries) return;  // Full: serve misses uncached.
-  map_.emplace(token, value);
-}
-
-void SemanticEncoder::TokenEmbeddingCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-}
-
 la::Vec SemanticEncoder::CachedBaseEmbed(const std::string& token) const {
   la::Vec out;
   if (cache_.Lookup(token, &out)) return out;

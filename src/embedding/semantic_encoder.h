@@ -3,9 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -14,6 +12,7 @@
 #include "embedding/hash_embedder.h"
 #include "embedding/siamese_calibrator.h"
 #include "la/vector_ops.h"
+#include "util/bounded_cache.h"
 #include "util/serde.h"
 
 /// \file
@@ -94,6 +93,10 @@ class SemanticEncoder {
   size_t dim() const {
     return options_.hash_dim + options_.cooc_dim + options_.numeric_dims;
   }
+  /// Token-memo introspection (bounded-cache regression tests and the
+  /// serve stats endpoint): current entry count and lifetime evictions.
+  size_t token_cache_size() const { return cache_.size(); }
+  uint64_t token_cache_evictions() const { return cache_.evictions(); }
   EncoderMode mode() const { return options_.mode; }
   bool fitted() const { return fitted_; }
 
@@ -101,10 +104,13 @@ class SemanticEncoder {
   /// Memo of context-free token embeddings: the same token string always
   /// maps to the same BaseEmbed vector (hash-gram + cooc + numeracy are
   /// all deterministic in the token), so repeated occurrences across a
-  /// corpus skip the recomputation. Thread-safe (mutex-guarded) because
-  /// the batch inference APIs encode records concurrently; bounded, and
-  /// never copied/moved with the encoder (a mutex is neither copyable
-  /// nor movable, and the entries are derivable state).
+  /// corpus skip the recomputation. Backed by util::FifoCache —
+  /// thread-safe (the batch inference APIs encode records concurrently)
+  /// and size-capped with deterministic insertion-order eviction, so a
+  /// long-lived serving process that streams an unbounded token
+  /// vocabulary through the encoder holds at most kMaxEntries vectors
+  /// while new tokens keep getting cached. Never copied/moved with the
+  /// encoder (the entries are derivable state).
   class TokenEmbeddingCache {
    public:
     TokenEmbeddingCache() = default;
@@ -119,14 +125,19 @@ class SemanticEncoder {
       return *this;
     }
 
-    bool Lookup(const std::string& token, la::Vec* out) const;
-    void Insert(const std::string& token, const la::Vec& value);
-    void Clear();
+    bool Lookup(const std::string& token, la::Vec* out) const {
+      return cache_.Lookup(token, out);
+    }
+    void Insert(const std::string& token, const la::Vec& value) {
+      cache_.Insert(token, value);
+    }
+    void Clear() { cache_.Clear(); }
+    size_t size() const { return cache_.size(); }
+    uint64_t evictions() const { return cache_.evictions(); }
 
    private:
     static constexpr size_t kMaxEntries = 1u << 16;
-    mutable std::mutex mu_;
-    std::unordered_map<std::string, la::Vec> map_;
+    util::FifoCache<std::string, la::Vec> cache_{kMaxEntries};
   };
 
   la::Vec BaseEmbed(const std::string& token) const;

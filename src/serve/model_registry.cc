@@ -1,0 +1,91 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace wym::serve {
+
+Status ModelRegistry::LoadModel(const std::string& name,
+                                const std::string& path) {
+  static obs::Counter& loads =
+      obs::Registry::Global().GetCounter("serve.model_loads");
+  static obs::Counter& failures =
+      obs::Registry::Global().GetCounter("serve.model_load_failures");
+
+  // Load and verify outside the lock: a slow (or corrupt) load must not
+  // stall requests being served off already-registered models.
+  Result<core::WymModel> loaded = core::WymModel::LoadFromFile(path);
+  if (!loaded.ok()) {
+    failures.Add(1);
+    return loaded.status().Annotate("loading model '" + name + "' from " +
+                                    path);
+  }
+  auto model = std::make_shared<const core::WymModel>(
+      std::move(loaded).value());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  RegisteredModel& slot = models_[name];
+  slot.model = std::move(model);
+  slot.generation = ++next_generation_;
+  loads.Add(1);
+  return Status::Ok();
+}
+
+Status ModelRegistry::Retire(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.erase(name) == 0) {
+    return Status::NotFound("no model named '" + name + "'");
+  }
+  return Status::Ok();
+}
+
+RegisteredModel ModelRegistry::Get(const std::string& name) const {
+  const std::string& key = name.empty() ? kDefaultModelName : name;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(key);
+  return it == models_.end() ? RegisteredModel{} : it->second;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, unused] : models_) names.push_back(name);
+  return names;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+Status ModelRegistry::LoadConfigFile(const std::string& path) {
+  std::string text;
+  WYM_RETURN_IF_ERROR(
+      io::ReadFileToString(path, &text).Annotate("model config"));
+  size_t line_number = 0;
+  for (size_t start = 0; start <= text.size();) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = strings::Trim(text.substr(start, end - start));
+    start = end + 1;
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= line.size()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": expected 'name=path', got '" + line + "'");
+    }
+    const std::string name = strings::Trim(line.substr(0, eq));
+    const std::string model_path = strings::Trim(line.substr(eq + 1));
+    WYM_RETURN_IF_ERROR(LoadModel(name, model_path).Annotate(
+        path + ":" + std::to_string(line_number)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace wym::serve

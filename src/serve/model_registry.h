@@ -1,0 +1,85 @@
+#ifndef WYM_SERVE_MODEL_REGISTRY_H_
+#define WYM_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/wym.h"
+#include "util/status.h"
+
+/// \file
+/// Multi-model registry for the matcher service: one long-lived process
+/// serves many catalogs, each under a client-visible name.
+///
+/// Robustness contract:
+///  - **Hot load is all-or-nothing.** LoadModel goes through
+///    WymModel::LoadFromFile, which verifies every v2 frame CRC before
+///    deserializing any state; a corrupt or truncated file is rejected
+///    with `Corruption` and the previously registered model (if any)
+///    keeps serving untouched.
+///  - **Retire never tears a request.** Models are handed out as
+///    shared_ptr<const WymModel>; in-flight requests hold their
+///    reference across Retire/reload, so the old model dies only when
+///    its last request finishes.
+///  - **Generations poison stale cache entries.** Every successful load
+///    bumps a monotonic generation; the prediction cache keys on
+///    "name#generation", so a reloaded name can never serve predictions
+///    computed by its predecessor.
+
+namespace wym::serve {
+
+/// A registered model plus its cache-key identity.
+struct RegisteredModel {
+  std::shared_ptr<const core::WymModel> model;
+  /// Monotonic across all loads in this registry ("name#generation" is
+  /// the prediction-cache model id).
+  uint64_t generation = 0;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Loads (or hot-reloads) `path` under `name`. On any failure the
+  /// registry is unchanged — the old model under `name` keeps serving.
+  [[nodiscard]] Status LoadModel(const std::string& name,
+                                 const std::string& path);
+
+  /// Removes `name`; NotFound when absent. In-flight requests holding
+  /// the shared_ptr finish on the retired model.
+  [[nodiscard]] Status Retire(const std::string& name);
+
+  /// The model registered under `name` (empty name = "default"), or a
+  /// null model pointer when absent.
+  RegisteredModel Get(const std::string& name) const;
+
+  /// Registered names, sorted (deterministic listing).
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+  /// Loads a config file of `name=path` lines (blank lines and
+  /// '#' comments ignored). Every entry must load; the first failure
+  /// aborts with its annotated status (fail fast at startup — a
+  /// half-configured service is worse than a dead one).
+  [[nodiscard]] Status LoadConfigFile(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, RegisteredModel> models_;
+  uint64_t next_generation_ = 0;
+};
+
+/// The name an empty model field resolves to.
+inline constexpr const char* kDefaultModelName = "default";
+
+}  // namespace wym::serve
+
+#endif  // WYM_SERVE_MODEL_REGISTRY_H_

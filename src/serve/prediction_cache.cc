@@ -1,0 +1,28 @@
+#include "serve/prediction_cache.h"
+
+#include <vector>
+
+#include "blocking/fingerprint.h"
+
+namespace wym::serve {
+
+uint64_t FingerprintEntity(const data::Entity& entity) {
+  // blocking::FingerprintTokens hashes a separator-joined token list;
+  // prefixing each value with its attribute index keeps the hash
+  // position-sensitive (the cache wants exact-input equality, not the
+  // blocking tier's order-insensitive duplicate semantics).
+  std::vector<std::string> tokens;
+  tokens.reserve(entity.values.size());
+  for (size_t i = 0; i < entity.values.size(); ++i) {
+    tokens.push_back(std::to_string(i) + '\x1F' + entity.values[i]);
+  }
+  return blocking::FingerprintTokens(tokens);
+}
+
+PredictionKey MakePredictionKey(const data::EmRecord& pair,
+                                const std::string& model_id) {
+  return PredictionKey{FingerprintEntity(pair.left),
+                       FingerprintEntity(pair.right), model_id};
+}
+
+}  // namespace wym::serve

@@ -1,0 +1,78 @@
+#ifndef WYM_SERVE_PREDICTION_CACHE_H_
+#define WYM_SERVE_PREDICTION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "data/record.h"
+#include "util/bounded_cache.h"
+
+/// \file
+/// Hash-keyed prediction cache for the matcher service: repeated
+/// (left, right, model) queries — the dominant shape of interactive
+/// dedup review traffic — skip the tokenize/encode/units/score/classify
+/// pipeline entirely.
+///
+/// Keys reuse `blocking::fingerprint`'s FNV-1a-64 token hashing: each
+/// side hashes its attribute-indexed value list (position-sensitive, so
+/// a value moving between attributes is a different entity), and the
+/// model component carries the registry *generation*, so hot-reloading
+/// a model name can never serve stale predictions. Eviction is
+/// deterministic and bounded (util::FifoCache): cached entries are
+/// derivable state, so eviction can only ever cost a recomputation.
+
+namespace wym::serve {
+
+/// Cache key: one fingerprint per side plus the generation-qualified
+/// model id ("name#3[+x]"; the +x suffix keys explanation-bearing
+/// entries separately from probability-only ones).
+struct PredictionKey {
+  uint64_t left_fp = 0;
+  uint64_t right_fp = 0;
+  std::string model_id;
+
+  bool operator==(const PredictionKey& other) const = default;
+};
+
+struct PredictionKeyHash {
+  size_t operator()(const PredictionKey& key) const {
+    // FNV-style mix of the two fingerprints with the model id's hash.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const uint64_t part :
+         {key.left_fp, key.right_fp,
+          static_cast<uint64_t>(std::hash<std::string>{}(key.model_id))}) {
+      h ^= part;
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// The cached outcome of one scored pair.
+struct CachedPrediction {
+  int prediction = 0;
+  double probability = 0.0;
+  /// Pre-rendered explanation JSON (empty for probability-only entries).
+  std::string explanation_json;
+};
+
+/// Fingerprint of one entity's attribute-indexed value list (FNV-1a-64
+/// via blocking::FingerprintTokens over "<index>\x1F<value>" entries —
+/// deterministic, position-sensitive, and shared with the blocking
+/// tier's hashing).
+uint64_t FingerprintEntity(const data::Entity& entity);
+
+/// Builds the key for one pair under a generation-qualified model id.
+PredictionKey MakePredictionKey(const data::EmRecord& pair,
+                                const std::string& model_id);
+
+/// Bounded, deterministic-eviction prediction cache. Thin alias over
+/// the shared FIFO cache so the service layer reads as policy, not
+/// plumbing.
+using PredictionCache =
+    util::FifoCache<PredictionKey, CachedPrediction, PredictionKeyHash>;
+
+}  // namespace wym::serve
+
+#endif  // WYM_SERVE_PREDICTION_CACHE_H_

@@ -1,0 +1,444 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace wym::serve {
+
+namespace {
+
+/// Shortest %g rendering that round-trips a double exactly (the same
+/// discipline the obs bench reports use): try increasing precision
+/// until strtod gives back the identical value. Non-finite values have
+/// no JSON spelling; the pipeline's quarantine path guarantees none,
+/// and this renders any that slip through as 0 rather than emitting
+/// invalid JSON.
+std::string RenderDouble(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[64];
+  for (int precision = 9; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+/// Status::Code <-> wire name. Mirrors CodeName in util/status.cc; an
+/// unknown wire name maps to kIoError (fail closed, still typed).
+struct CodeNameEntry {
+  Status::Code code;
+  const char* name;
+};
+
+constexpr CodeNameEntry kCodeNames[] = {
+    {Status::Code::kInvalidArgument, "InvalidArgument"},
+    {Status::Code::kNotFound, "NotFound"},
+    {Status::Code::kIoError, "IoError"},
+    {Status::Code::kCorruption, "Corruption"},
+    {Status::Code::kFailedPrecondition, "FailedPrecondition"},
+    {Status::Code::kResourceExhausted, "ResourceExhausted"},
+    {Status::Code::kDeadlineExceeded, "DeadlineExceeded"},
+};
+
+Status StatusFromWire(const std::string& code, std::string message) {
+  for (const CodeNameEntry& entry : kCodeNames) {
+    if (code == entry.name) {
+      switch (entry.code) {
+        case Status::Code::kInvalidArgument:
+          return Status::InvalidArgument(std::move(message));
+        case Status::Code::kNotFound:
+          return Status::NotFound(std::move(message));
+        case Status::Code::kCorruption:
+          return Status::Corruption(std::move(message));
+        case Status::Code::kFailedPrecondition:
+          return Status::FailedPrecondition(std::move(message));
+        case Status::Code::kResourceExhausted:
+          return Status::ResourceExhausted(std::move(message));
+        case Status::Code::kDeadlineExceeded:
+          return Status::DeadlineExceeded(std::move(message));
+        default:
+          return Status::IoError(std::move(message));
+      }
+    }
+  }
+  return Status::IoError("unknown error code '" + code + "': " + message);
+}
+
+/// The Status::Code wire name used in RenderResponse. Pure — part of
+/// the response-serialization path.
+const char* WireCodeName(Status::Code code) {
+  for (const CodeNameEntry& entry : kCodeNames) {
+    if (entry.code == code) return entry.name;
+  }
+  return "IoError";
+}
+
+struct OpNameEntry {
+  Request::Op op;
+  const char* name;
+};
+
+constexpr OpNameEntry kOpNames[] = {
+    {Request::Op::kPing, "ping"},
+    {Request::Op::kPredict, "predict"},
+    {Request::Op::kStats, "stats"},
+    {Request::Op::kListModels, "list_models"},
+    {Request::Op::kLoadModel, "load_model"},
+    {Request::Op::kRetireModel, "retire_model"},
+    {Request::Op::kShutdown, "shutdown"},
+    {Request::Op::kDebugSleep, "debug_sleep"},
+};
+
+/// Member lookup helpers over the obs JSON tree; each tolerates an
+/// absent member and type-checks a present one.
+Status GetString(const obs::JsonValue& object, const std::string& key,
+                 std::string* out) {
+  const obs::JsonValue* value = object.Find(key);
+  if (value == nullptr) return Status::Ok();
+  if (!value->IsString()) {
+    return Status::InvalidArgument("'" + key + "' must be a string");
+  }
+  *out = value->string;
+  return Status::Ok();
+}
+
+Status GetUint(const obs::JsonValue& object, const std::string& key,
+               uint64_t* out) {
+  const obs::JsonValue* value = object.Find(key);
+  if (value == nullptr) return Status::Ok();
+  if (!value->IsNumber() || value->number < 0) {
+    return Status::InvalidArgument("'" + key +
+                                   "' must be a non-negative number");
+  }
+  *out = static_cast<uint64_t>(value->number);
+  return Status::Ok();
+}
+
+Status GetBool(const obs::JsonValue& object, const std::string& key,
+               bool* out) {
+  const obs::JsonValue* value = object.Find(key);
+  if (value == nullptr) return Status::Ok();
+  if (!value->IsBool()) {
+    return Status::InvalidArgument("'" + key + "' must be a boolean");
+  }
+  *out = value->boolean;
+  return Status::Ok();
+}
+
+/// Parses one {"left":[...],"right":[...]} pair object.
+Status ParsePair(const obs::JsonValue& object, data::EmRecord* out) {
+  for (const char* side : {"left", "right"}) {
+    const obs::JsonValue* values = object.Find(side);
+    if (values == nullptr || !values->IsArray()) {
+      return Status::InvalidArgument(
+          std::string("pair needs a '") + side + "' array of values");
+    }
+    std::vector<std::string>& target =
+        side[0] == 'l' ? out->left.values : out->right.values;
+    for (const obs::JsonValue& value : values->array) {
+      if (!value.IsString()) {
+        return Status::InvalidArgument(
+            std::string("'") + side + "' values must be strings");
+      }
+      target.push_back(value.string);
+    }
+  }
+  return Status::Ok();
+}
+
+/// Re-renders a parsed JSON subtree (client side: recovers the
+/// `payload` / `explanation` objects of a response as strings). Member
+/// order is preserved by the parser, and numbers re-render through
+/// RenderDouble, so server-rendered JSON round-trips byte-identically.
+void AppendJsonValue(const obs::JsonValue& value, std::string* out) {
+  switch (value.kind) {
+    case obs::JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case obs::JsonValue::Kind::kBool:
+      *out += value.boolean ? "true" : "false";
+      return;
+    case obs::JsonValue::Kind::kNumber:
+      *out += RenderDouble(value.number);
+      return;
+    case obs::JsonValue::Kind::kString:
+      *out += EscapeJsonString(value.string);
+      return;
+    case obs::JsonValue::Kind::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        if (i != 0) *out += ',';
+        AppendJsonValue(value.array[i], out);
+      }
+      *out += ']';
+      return;
+    }
+    case obs::JsonValue::Kind::kObject: {
+      *out += '{';
+      for (size_t i = 0; i < value.object.size(); ++i) {
+        if (i != 0) *out += ',';
+        *out += EscapeJsonString(value.object[i].first);
+        *out += ':';
+        AppendJsonValue(value.object[i].second, out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+void AppendPairJson(const data::EmRecord& pair, std::string* out) {
+  *out += "{\"left\":[";
+  for (size_t i = 0; i < pair.left.values.size(); ++i) {
+    if (i != 0) *out += ',';
+    *out += EscapeJsonString(pair.left.values[i]);
+  }
+  *out += "],\"right\":[";
+  for (size_t i = 0; i < pair.right.values.size(); ++i) {
+    if (i != 0) *out += ',';
+    *out += EscapeJsonString(pair.right.values[i]);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string EscapeJsonString(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+const char* OpName(Request::Op op) {
+  for (const OpNameEntry& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "unknown";
+}
+
+Result<Request> ParseRequest(const std::string& line) {
+  obs::JsonValue root;
+  std::string error;
+  if (!obs::ParseJson(line, &root, &error)) {
+    return Status::InvalidArgument("malformed request JSON: " + error);
+  }
+  if (!root.IsObject()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  Request request;
+  std::string op;
+  WYM_RETURN_IF_ERROR(GetString(root, "op", &op));
+  if (op.empty()) {
+    return Status::InvalidArgument("request needs an 'op' string");
+  }
+  bool known = false;
+  for (const OpNameEntry& entry : kOpNames) {
+    if (op == entry.name) {
+      request.op = entry.op;
+      known = true;
+      break;
+    }
+  }
+  if (!known) return Status::InvalidArgument("unknown op '" + op + "'");
+
+  WYM_RETURN_IF_ERROR(GetString(root, "id", &request.id));
+  WYM_RETURN_IF_ERROR(GetString(root, "model", &request.model));
+  WYM_RETURN_IF_ERROR(GetString(root, "name", &request.name));
+  WYM_RETURN_IF_ERROR(GetString(root, "path", &request.path));
+  WYM_RETURN_IF_ERROR(GetBool(root, "explain", &request.explain));
+  WYM_RETURN_IF_ERROR(GetUint(root, "deadline_ms", &request.deadline_ms));
+  WYM_RETURN_IF_ERROR(GetUint(root, "sleep_ms", &request.sleep_ms));
+
+  const obs::JsonValue* pairs = root.Find("pairs");
+  if (pairs != nullptr) {
+    if (!pairs->IsArray()) {
+      return Status::InvalidArgument("'pairs' must be an array");
+    }
+    for (const obs::JsonValue& entry : pairs->array) {
+      data::EmRecord pair;
+      WYM_RETURN_IF_ERROR(ParsePair(entry, &pair));
+      request.pairs.push_back(std::move(pair));
+    }
+  } else if (root.Find("left") != nullptr || root.Find("right") != nullptr) {
+    // Single-pair convenience: top-level left/right arrays.
+    data::EmRecord pair;
+    WYM_RETURN_IF_ERROR(ParsePair(root, &pair));
+    request.pairs.push_back(std::move(pair));
+  }
+
+  if (request.op == Request::Op::kPredict && request.pairs.empty()) {
+    return Status::InvalidArgument(
+        "predict needs 'pairs' (or top-level 'left'/'right')");
+  }
+  if (request.op == Request::Op::kLoadModel &&
+      (request.name.empty() || request.path.empty())) {
+    return Status::InvalidArgument("load_model needs 'name' and 'path'");
+  }
+  if (request.op == Request::Op::kRetireModel && request.name.empty()) {
+    return Status::InvalidArgument("retire_model needs 'name'");
+  }
+  return request;
+}
+
+std::string RenderRequest(const Request& request) {
+  std::string out = "{\"op\":";
+  out += EscapeJsonString(OpName(request.op));
+  if (!request.id.empty()) out += ",\"id\":" + EscapeJsonString(request.id);
+  if (!request.model.empty()) {
+    out += ",\"model\":" + EscapeJsonString(request.model);
+  }
+  if (request.explain) out += ",\"explain\":true";
+  if (request.deadline_ms != 0) {
+    out += ",\"deadline_ms\":" + std::to_string(request.deadline_ms);
+  }
+  if (!request.name.empty()) {
+    out += ",\"name\":" + EscapeJsonString(request.name);
+  }
+  if (!request.path.empty()) {
+    out += ",\"path\":" + EscapeJsonString(request.path);
+  }
+  if (request.sleep_ms != 0) {
+    out += ",\"sleep_ms\":" + std::to_string(request.sleep_ms);
+  }
+  if (!request.pairs.empty()) {
+    out += ",\"pairs\":[";
+    for (size_t i = 0; i < request.pairs.size(); ++i) {
+      if (i != 0) out += ',';
+      AppendPairJson(request.pairs[i], &out);
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+std::string RenderResponse(const Response& response) {
+  std::string out = "{\"proto\":";
+  out += EscapeJsonString(kProtocolName);
+  if (!response.id.empty()) {
+    out += ",\"id\":" + EscapeJsonString(response.id);
+  }
+  if (!response.op.empty()) {
+    out += ",\"op\":" + EscapeJsonString(response.op);
+  }
+  if (!response.status.ok()) {
+    out += ",\"ok\":false,\"error\":{\"code\":";
+    out += EscapeJsonString(WireCodeName(response.status.code()));
+    out += ",\"message\":";
+    out += EscapeJsonString(response.status.message());
+    out += "}}";
+    return out;
+  }
+  out += ",\"ok\":true";
+  if (!response.model.empty()) {
+    out += ",\"model\":" + EscapeJsonString(response.model);
+  }
+  if (!response.results.empty()) {
+    out += ",\"results\":[";
+    for (size_t i = 0; i < response.results.size(); ++i) {
+      const PairResult& result = response.results[i];
+      if (i != 0) out += ',';
+      out += "{\"prediction\":" + std::to_string(result.prediction);
+      out += ",\"probability\":" + RenderDouble(result.probability);
+      out += std::string(",\"cached\":") + (result.cached ? "true" : "false");
+      if (!result.explanation_json.empty()) {
+        out += ",\"explanation\":" + result.explanation_json;
+      }
+      out += '}';
+    }
+    out += ']';
+  }
+  if (!response.payload_json.empty()) {
+    out += ",\"payload\":" + response.payload_json;
+  }
+  out += '}';
+  return out;
+}
+
+Result<Response> ParseResponse(const std::string& line) {
+  obs::JsonValue root;
+  std::string error;
+  if (!obs::ParseJson(line, &root, &error)) {
+    return Status::IoError("malformed response JSON: " + error);
+  }
+  if (!root.IsObject()) {
+    return Status::IoError("response must be a JSON object");
+  }
+  Response response;
+  WYM_RETURN_IF_ERROR(GetString(root, "id", &response.id));
+  WYM_RETURN_IF_ERROR(GetString(root, "op", &response.op));
+  WYM_RETURN_IF_ERROR(GetString(root, "model", &response.model));
+  const obs::JsonValue* ok = root.Find("ok");
+  if (ok == nullptr || !ok->IsBool()) {
+    return Status::IoError("response needs an 'ok' boolean");
+  }
+  if (!ok->boolean) {
+    const obs::JsonValue* err = root.Find("error");
+    std::string code, message;
+    if (err != nullptr && err->IsObject()) {
+      (void)GetString(*err, "code", &code);
+      (void)GetString(*err, "message", &message);
+    }
+    response.status = StatusFromWire(code, std::move(message));
+    return response;
+  }
+  const obs::JsonValue* results = root.Find("results");
+  if (results != nullptr && results->IsArray()) {
+    for (const obs::JsonValue& entry : results->array) {
+      PairResult result;
+      const obs::JsonValue* prediction = entry.Find("prediction");
+      const obs::JsonValue* probability = entry.Find("probability");
+      if (prediction != nullptr && prediction->IsNumber()) {
+        result.prediction = static_cast<int>(prediction->number);
+      }
+      if (probability != nullptr && probability->IsNumber()) {
+        result.probability = probability->number;
+      }
+      (void)GetBool(entry, "cached", &result.cached);
+      const obs::JsonValue* explanation = entry.Find("explanation");
+      if (explanation != nullptr) {
+        AppendJsonValue(*explanation, &result.explanation_json);
+      }
+      response.results.push_back(result);
+    }
+  }
+  const obs::JsonValue* payload = root.Find("payload");
+  if (payload != nullptr) {
+    AppendJsonValue(*payload, &response.payload_json);
+  }
+  return response;
+}
+
+}  // namespace wym::serve

@@ -1,0 +1,128 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "obs/trace.h"
+#include "serve/protocol.h"
+#include "serve/socket_io.h"
+
+namespace wym::serve {
+
+SocketServer::SocketServer(MatcherService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+void SocketServer::ServeConnection(int fd) {
+  LineChannel channel(fd);
+  std::string line;
+  while (true) {
+    bool eof = false;
+    bool timed_out = false;
+    const Status read =
+        channel.ReadLine(&line, options_.read_timeout_ms, &eof, &timed_out);
+    // Socket faults close the connection cleanly; the service (and
+    // every other client) keeps running.
+    if (!read.ok() || eof) return;
+    if (timed_out) {
+      // Idle poll: during drain an idle connection is released so the
+      // server can finish shutting down without waiting on silence.
+      if (stopping_.load() || service_->draining()) return;
+      continue;
+    }
+    if (line.empty()) continue;
+
+    Result<Request> parsed = ParseRequest(line);
+    if (!parsed.ok()) {
+      // Malformed input answers a typed error on the same line slot —
+      // a bad client never crashes the server or hangs unanswered.
+      Response response;
+      response.op = "error";
+      response.status = parsed.status();
+      if (!channel.WriteLine(RenderResponse(response)).ok()) return;
+      continue;
+    }
+    Request request = std::move(parsed).value();
+    const bool is_shutdown = request.op == Request::Op::kShutdown;
+
+    // Promise/future rendezvous: the responder may run inline (sheds,
+    // introspection), on a pool worker (executed work), or on the
+    // watchdog thread (wedge recovery); the connection thread writes
+    // whichever answer arrives first, keeping one writer per socket.
+    auto promise = std::make_shared<std::promise<Response>>();
+    std::future<Response> future = promise->get_future();
+    const Status admitted = service_->Admit(
+        std::move(request),
+        [promise](const Response& response) { promise->set_value(response); });
+    // Shed or admitted, the service answers exactly once; the admission
+    // status is already reflected in the response the future carries.
+    (void)admitted;
+    const Response response = future.get();
+    if (!channel.WriteLine(RenderResponse(response)).ok()) return;
+    if (is_shutdown) return;
+  }
+}
+
+Status SocketServer::Serve() {
+  Result<int> listener = ListenUnix(options_.socket_path);
+  WYM_RETURN_IF_ERROR(listener.status());
+  const int listen_fd = listener.value();
+
+  // Watchdog: periodically converts wedged workers into clean error
+  // responses. Scan cadence is wall-clock; wedge age is measured with
+  // the service's own time source.
+  std::thread watchdog;
+  if (options_.watchdog_interval_ms != 0 &&
+      service_->options().wedge_timeout_ms != 0) {
+    watchdog = std::thread([this] {
+      uint64_t slept_ms = 0;
+      while (!stopping_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        slept_ms += 10;
+        if (slept_ms < options_.watchdog_interval_ms) continue;
+        slept_ms = 0;
+        service_->PokeWatchdog(obs::NowNanos());
+      }
+    });
+  }
+
+  std::vector<std::thread> connections;
+  while (true) {
+    if ((options_.stop_requested && options_.stop_requested()) ||
+        service_->draining()) {
+      break;
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // Signal delivery lands here.
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      continue;  // A failed accept drops that client, not the server.
+    }
+    connections.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+
+  // Drain sequence: stop accepting, shed new work, finish in-flight,
+  // release idle connections, join everything. After this returns the
+  // caller flushes the final stats snapshot.
+  stopping_.store(true);
+  ::close(listen_fd);
+  ::unlink(options_.socket_path.c_str());
+  service_->Drain();
+  for (std::thread& connection : connections) connection.join();
+  if (watchdog.joinable()) watchdog.join();
+  return Status::Ok();
+}
+
+}  // namespace wym::serve

@@ -1,0 +1,70 @@
+#ifndef WYM_SERVE_SERVER_H_
+#define WYM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "util/status.h"
+
+/// \file
+/// The socket front-end of the matcher service: accept loop, one
+/// connection thread per client, a watchdog thread, and the graceful
+/// shutdown sequence.
+///
+/// Lifecycle (the drain state machine, see DESIGN.md):
+///   accepting -> draining -> idle -> stopped
+/// `Serve` runs until `stop_requested` returns true (the tool wires a
+/// SIGTERM/SIGINT flag in) or a client issues `shutdown`. Either way
+/// the server stops accepting, sheds new work with ResourceExhausted,
+/// finishes (or deadlines-out) everything in flight, joins its
+/// threads, and returns — the caller then flushes the final stats
+/// snapshot. Nothing admitted is ever dropped unanswered.
+
+namespace wym::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain listening socket.
+  std::string socket_path;
+  /// Polled between accept waits; return true to begin drain.
+  std::function<bool()> stop_requested;
+  /// Watchdog scan cadence (0 disables the watchdog thread even if the
+  /// service has a wedge timeout).
+  uint64_t watchdog_interval_ms = 1000;
+  /// Per-read idle timeout on connection threads; bounds how long a
+  /// drain waits on a silent client.
+  int read_timeout_ms = 250;
+};
+
+class SocketServer {
+ public:
+  /// `service` must outlive the server.
+  SocketServer(MatcherService* service, ServerOptions options);
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and serves until stop is requested (signal flag or
+  /// `shutdown` op), then drains and joins. Returns only startup
+  /// errors; per-connection failures are answered on their own
+  /// connections and never take the server down.
+  [[nodiscard]] Status Serve();
+
+  /// Handles one established connection on the calling thread until
+  /// EOF, a socket error, or drain-and-idle. Public so tests can drive
+  /// a socketpair end (with a scripted FaultInjector) through the exact
+  /// production read/dispatch/write loop without a listener.
+  void ServeConnection(int fd);
+
+ private:
+  MatcherService* const service_;
+  const ServerOptions options_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace wym::serve
+
+#endif  // WYM_SERVE_SERVER_H_

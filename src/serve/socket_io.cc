@@ -1,0 +1,175 @@
+#include "serve/socket_io.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/io.h"
+
+namespace wym::serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Result<int> BoundAddress(const std::string& path, sockaddr_un* addr) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  return fd;
+}
+
+}  // namespace
+
+Result<int> ListenUnix(const std::string& path) {
+  sockaddr_un addr;
+  Result<int> fd = BoundAddress(path, &addr);
+  WYM_RETURN_IF_ERROR(fd.status());
+  ::unlink(path.c_str());
+  if (::bind(fd.value(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = Errno("bind " + path);
+    ::close(fd.value());
+    return status;
+  }
+  if (::listen(fd.value(), SOMAXCONN) != 0) {
+    Status status = Errno("listen " + path);
+    ::close(fd.value());
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ConnectUnix(const std::string& path) {
+  sockaddr_un addr;
+  Result<int> fd = BoundAddress(path, &addr);
+  WYM_RETURN_IF_ERROR(fd.status());
+  if (::connect(fd.value(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status status = Errno("connect " + path);
+    ::close(fd.value());
+    return status;
+  }
+  return fd;
+}
+
+LineChannel::LineChannel(int fd) : fd_(fd) {}
+
+LineChannel::~LineChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LineChannel::ReadLine(std::string* line, int timeout_ms, bool* eof,
+                             bool* timed_out) {
+  line->clear();
+  *eof = false;
+  *timed_out = false;
+  while (true) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return Status::Ok();
+    }
+
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready == 0) {
+      *timed_out = true;
+      return Status::Ok();
+    }
+
+    char chunk[4096];
+    size_t want = sizeof(chunk);
+    // Fault seam: scripted socket-read faults replace the syscall's
+    // outcome so tests exercise the same control flow a flaky peer or
+    // kernel would produce.
+    if (io::FaultInjector* injector = io::ActiveFaultInjector()) {
+      if (const io::Fault* fault = injector->NextSockReadFault()) {
+        const io::Fault::Kind kind = fault->kind;
+        injector->Spend(fault);
+        if (kind == io::Fault::Kind::kSockEintr) continue;
+        if (kind == io::Fault::Kind::kSockDisconnect) {
+          if (buffer_.empty()) {
+            *eof = true;
+            return Status::Ok();
+          }
+          return Status::IoError("connection closed mid-message (" +
+                                 std::to_string(buffer_.size()) +
+                                 " bytes buffered)");
+        }
+        // kSockShortRead: the next recv delivers at most offset bytes.
+        want = std::min<size_t>(
+            want, fault->offset == 0 ? 1 : static_cast<size_t>(fault->offset));
+      }
+    }
+
+    const ssize_t got = ::recv(fd_, chunk, want, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (got == 0) {
+      if (buffer_.empty()) {
+        *eof = true;
+        return Status::Ok();
+      }
+      return Status::IoError("connection closed mid-message (" +
+                             std::to_string(buffer_.size()) +
+                             " bytes buffered)");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+Status LineChannel::WriteLine(const std::string& line) {
+  std::string payload = line;
+  payload += '\n';
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    size_t want = payload.size() - sent;
+    if (io::FaultInjector* injector = io::ActiveFaultInjector()) {
+      if (const io::Fault* fault = injector->NextSockWriteFault()) {
+        const io::Fault::Kind kind = fault->kind;
+        injector->Spend(fault);
+        if (kind == io::Fault::Kind::kSockEintr) continue;
+        if (kind == io::Fault::Kind::kSockDisconnect) {
+          return Status::IoError("connection reset by peer (" +
+                                 std::to_string(sent) + " of " +
+                                 std::to_string(payload.size()) +
+                                 " bytes sent)");
+        }
+        // kSockShortWrite: the next send accepts at most offset bytes.
+        want = std::min<size_t>(
+            want, fault->offset == 0 ? 1 : static_cast<size_t>(fault->offset));
+      }
+    }
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t wrote =
+        ::send(fd_, payload.data() + sent, want, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+}  // namespace wym::serve

@@ -1,0 +1,72 @@
+#ifndef WYM_SERVE_SOCKET_IO_H_
+#define WYM_SERVE_SOCKET_IO_H_
+
+#include <string>
+
+#include "util/status.h"
+
+/// \file
+/// Unix-domain socket plumbing for the matcher service: listen/connect
+/// helpers plus `LineChannel`, a buffered newline-delimited message
+/// channel over a connected fd.
+///
+/// Robustness seams: every recv/send consults the thread-local
+/// `io::FaultInjector` (util/io.h) socket hooks, so tests script short
+/// reads, short writes, EINTR, and mid-message disconnects through the
+/// exact code paths production traffic takes. The channel's contract
+/// under faults is "typed error or clean close, never crash or hang":
+/// short reads/writes are absorbed by the buffering loops, EINTR
+/// retries, and a disconnect surfaces as EOF (between messages) or
+/// `IoError` (mid-message).
+
+namespace wym::serve {
+
+/// Binds and listens on a Unix-domain socket at `path` (an existing
+/// socket file is replaced — the standard restart-over-stale-socket
+/// behaviour). Returns the listening fd.
+Result<int> ListenUnix(const std::string& path);
+
+/// Connects to the Unix-domain socket at `path`; IoError when the
+/// server is absent (clients treat that as retryable).
+Result<int> ConnectUnix(const std::string& path);
+
+/// Buffered newline-delimited channel over a connected socket fd.
+/// Owns and closes the fd. One channel per connection thread — not
+/// internally synchronized.
+class LineChannel {
+ public:
+  /// Takes ownership of `fd`.
+  explicit LineChannel(int fd);
+  ~LineChannel();
+
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  /// Reads the next '\n'-terminated line (terminator stripped).
+  /// Outcomes:
+  ///  - line available: Ok, `*line` set, flags false;
+  ///  - peer closed between messages: Ok, `*eof` = true;
+  ///  - nothing arrived within `timeout_ms` (< 0 = wait forever): Ok,
+  ///    `*timed_out` = true. A plain flag, deliberately not a
+  ///    DeadlineExceeded status: idle polls are routine (the server's
+  ///    drain check), and the Status factory counts real deadline
+  ///    events.
+  ///  - mid-line disconnect or socket error: IoError.
+  Status ReadLine(std::string* line, int timeout_ms, bool* eof,
+                  bool* timed_out);
+
+  /// Writes `line` plus the '\n' terminator, looping through short
+  /// writes and EINTR; IoError on disconnect.
+  Status WriteLine(const std::string& line);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  /// Bytes received past the last returned line.
+  std::string buffer_;
+};
+
+}  // namespace wym::serve
+
+#endif  // WYM_SERVE_SOCKET_IO_H_

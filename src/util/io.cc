@@ -16,6 +16,22 @@ bool IsWriteFault(Fault::Kind kind) {
          kind == Fault::Kind::kCrashAt;
 }
 
+bool IsFileReadFault(Fault::Kind kind) {
+  return kind == Fault::Kind::kShortRead || kind == Fault::Kind::kFlipBit;
+}
+
+bool IsSockReadFault(Fault::Kind kind) {
+  return kind == Fault::Kind::kSockShortRead ||
+         kind == Fault::Kind::kSockEintr ||
+         kind == Fault::Kind::kSockDisconnect;
+}
+
+bool IsSockWriteFault(Fault::Kind kind) {
+  return kind == Fault::Kind::kSockShortWrite ||
+         kind == Fault::Kind::kSockEintr ||
+         kind == Fault::Kind::kSockDisconnect;
+}
+
 /// The per-thread fault plan (tests only; nullptr in production).
 thread_local FaultInjector* g_active_injector = nullptr;
 
@@ -48,7 +64,21 @@ const Fault* FaultInjector::NextWriteFault() const {
 }
 
 const Fault* FaultInjector::NextReadFault() const {
-  if (next_ < script_.size() && !IsWriteFault(script_[next_].kind)) {
+  if (next_ < script_.size() && IsFileReadFault(script_[next_].kind)) {
+    return &script_[next_];
+  }
+  return nullptr;
+}
+
+const Fault* FaultInjector::NextSockReadFault() const {
+  if (next_ < script_.size() && IsSockReadFault(script_[next_].kind)) {
+    return &script_[next_];
+  }
+  return nullptr;
+}
+
+const Fault* FaultInjector::NextSockWriteFault() const {
+  if (next_ < script_.size() && IsSockWriteFault(script_[next_].kind)) {
     return &script_[next_];
   }
   return nullptr;

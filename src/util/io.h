@@ -52,6 +52,18 @@ struct Fault {
     /// Read path: bit `bit_index` (0 = LSB of byte 0) of the returned
     /// buffer is flipped — silent media corruption.
     kFlipBit,
+    /// Socket read path: the next recv delivers at most `offset` bytes
+    /// (a partial read; the caller's assembly loop must keep going).
+    kSockShortRead,
+    /// Socket write path: the next send accepts at most `offset` bytes
+    /// (a partial write; the caller must continue from the remainder).
+    kSockShortWrite,
+    /// Socket read or write path: the next operation is interrupted as
+    /// if by a signal (EINTR) and must be retried transparently.
+    kSockEintr,
+    /// Socket read or write path: the peer vanishes mid-message — the
+    /// next read sees EOF, the next write sees a reset connection.
+    kSockDisconnect,
   };
 
   Kind kind = Kind::kFailWriteAt;
@@ -85,6 +97,18 @@ class FaultInjector {
   FaultInjector& FlipBit(uint64_t bit_index) {
     return Add({Fault::Kind::kFlipBit, 0, bit_index});
   }
+  FaultInjector& SockShortRead(uint64_t max_bytes) {
+    return Add({Fault::Kind::kSockShortRead, max_bytes, 0});
+  }
+  FaultInjector& SockShortWrite(uint64_t max_bytes) {
+    return Add({Fault::Kind::kSockShortWrite, max_bytes, 0});
+  }
+  FaultInjector& SockEintr() {
+    return Add({Fault::Kind::kSockEintr, 0, 0});
+  }
+  FaultInjector& SockDisconnect() {
+    return Add({Fault::Kind::kSockDisconnect, 0, 0});
+  }
   FaultInjector& Add(Fault fault) {
     script_.push_back(fault);
     return *this;
@@ -95,10 +119,19 @@ class FaultInjector {
 
   /// --- hooks called by the io functions (not by user code) ---
 
-  /// Next unfired write-path fault, or nullptr. `Spend` marks it fired.
+  /// Next unfired file-write-path fault, or nullptr. `Spend` marks it
+  /// fired. Each hook matches only its own operation class, so a
+  /// script interleaving file and socket faults fires them in order on
+  /// the matching operations.
   const Fault* NextWriteFault() const;
-  /// Next unfired read-path fault, or nullptr.
+  /// Next unfired file-read-path fault, or nullptr.
   const Fault* NextReadFault() const;
+  /// Next unfired socket-read-path fault (short read / EINTR /
+  /// disconnect), or nullptr.
+  const Fault* NextSockReadFault() const;
+  /// Next unfired socket-write-path fault (short write / EINTR /
+  /// disconnect), or nullptr.
+  const Fault* NextSockWriteFault() const;
   void Spend(const Fault* fault);
 
  private:

@@ -23,6 +23,10 @@ const char* CodeName(Status::Code code) {
       return "Corruption";
     case Status::Code::kFailedPrecondition:
       return "FailedPrecondition";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -41,6 +45,20 @@ Status Status::Corruption(std::string message) {
       obs::Registry::Global().GetCounter("io.corruption_detected");
   detected.Add(1);
   return Status(Code::kCorruption, std::move(message));
+}
+
+Status Status::ResourceExhausted(std::string message) {
+  static obs::Counter& shed =
+      obs::Registry::Global().GetCounter("serve.shed");
+  shed.Add(1);
+  return Status(Code::kResourceExhausted, std::move(message));
+}
+
+Status Status::DeadlineExceeded(std::string message) {
+  static obs::Counter& expired =
+      obs::Registry::Global().GetCounter("serve.deadline_exceeded");
+  expired.Add(1);
+  return Status(Code::kDeadlineExceeded, std::move(message));
 }
 
 Status Status::Annotate(const std::string& context) const {

@@ -27,6 +27,13 @@ class [[nodiscard]] Status {
     kIoError,
     kCorruption,
     kFailedPrecondition,
+    /// Admission control: the server shed the request (bounded queue
+    /// full, or draining for shutdown). Retryable — against another
+    /// instance or after backoff.
+    kResourceExhausted,
+    /// The request's deadline budget expired before (or while) the work
+    /// ran. Not retryable: the budget is already spent.
+    kDeadlineExceeded,
   };
 
   /// Default-constructed Status is OK.
@@ -49,6 +56,11 @@ class [[nodiscard]] Status {
   static Status FailedPrecondition(std::string message) {
     return Status(Code::kFailedPrecondition, std::move(message));
   }
+  /// ResourceExhausted/DeadlineExceeded are out of line (status.cc):
+  /// like IoError/Corruption they bump obs counters (`serve.shed` /
+  /// `serve.deadline_exceeded`) at the one construction choke point.
+  static Status ResourceExhausted(std::string message);
+  static Status DeadlineExceeded(std::string message);
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }

@@ -5,9 +5,12 @@
 # the CLI path as $1 and (optionally) the wym_lint path as $2, which
 # enables the analyzer's own exit-code contract checks (0 = clean,
 # 5 = findings, 6 = stale suppression) against throwaway fixture trees.
+# When $3 names the wym_serve binary, the serving lifecycle rides along
+# too: start, readiness, query, hot-load, corrupt-reject, SIGTERM drain.
 set -e
 CLI="$1"
 LINT="$2"
+SERVE="$3"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -139,6 +142,74 @@ if [ -n "$LINT" ]; then
 
   # Exit 2 stays reserved for usage / IO errors.
   expect_exit 2 "$LINT" graph "$WORK/no-such-dir"
+fi
+
+# ---------------------------------------------------------------------
+# wym_serve lifecycle (when the server path was provided): the
+# robustness contract end to end, over a real Unix socket.
+if [ -n "$SERVE" ]; then
+  SOCK="$WORK/wym.sock"
+  "$SERVE" --socket "$SOCK" --model "default=$WORK/model.wym" \
+    --stats-out "$WORK/final-stats.json" > "$WORK/serve.log" 2>&1 &
+  # The binary is backgrounded directly (no subshell wrapper), so $! is
+  # the server's own PID — the one SIGTERM must reach for a clean drain.
+  SERVE_PID=$!
+
+  # Readiness: ping until the socket answers (query retries connects
+  # with backoff internally; the loop bounds total startup patience).
+  ready=0
+  for _ in 1 2 3 4 5 6 7 8 9 10; do
+    if "$CLI" query --socket "$SOCK" --op ping > /dev/null 2>&1; then
+      ready=1
+      break
+    fi
+    sleep 1
+  done
+  if [ "$ready" -ne 1 ]; then
+    echo "wym_serve never became ready" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+
+  # Predict over the wire; a repeat of the same pair is a cache hit.
+  "$CLI" query --socket "$SOCK" \
+    --left 'sony dslr a100 camera|10.2mp' \
+    --right 'sony dslr-a100|10.2 megapixel' | grep -q "probability"
+  "$CLI" query --socket "$SOCK" \
+    --left 'sony dslr a100 camera|10.2mp' \
+    --right 'sony dslr-a100|10.2 megapixel' | grep -q "(cached)"
+
+  # Hot-load the same file under a second name, then query it.
+  "$CLI" query --socket "$SOCK" --op load_model \
+    --name beta --path "$WORK/model.wym" | grep -q '"beta"'
+  "$CLI" query --socket "$SOCK" --op list_models | grep -q '"beta"'
+  "$CLI" query --socket "$SOCK" --model beta \
+    --left 'a|b' --right 'a|b' | grep -q "prediction"
+
+  # A corrupt hot-load is rejected with the corruption exit code and
+  # the previously loaded model keeps serving.
+  expect_exit 3 "$CLI" query --socket "$SOCK" --op load_model \
+    --name default --path "$WORK/corrupt.wym"
+  "$CLI" query --socket "$SOCK" \
+    --left 'canon eos|8mp' --right 'canon eos 350d|8mp' \
+    | grep -q "prediction"
+
+  # Stats exposes the overload-policy state.
+  "$CLI" query --socket "$SOCK" --op stats | grep -q '"queue_bound"'
+
+  # SIGTERM: graceful drain — exit 0 and the final stats snapshot
+  # flushed to --stats-out with the drained state recorded.
+  kill -TERM "$SERVE_PID"
+  set +e
+  wait "$SERVE_PID"
+  serve_status=$?
+  set -e
+  if [ "$serve_status" -ne 0 ]; then
+    echo "wym_serve exited $serve_status on SIGTERM" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+  grep -q '"draining":true' "$WORK/final-stats.json"
 fi
 
 echo "cli smoke OK"

@@ -212,5 +212,48 @@ TEST(SemanticEncoderTest, DeterministicAcrossInstances) {
             b.EncodeTokens({"digital", "camera"}));
 }
 
+TEST(SemanticEncoderTest, TokenCacheIsBoundedWithDeterministicEviction) {
+  // Long-lived-process regression: pushing far more distinct tokens
+  // than the memo capacity through the encoder must keep the cache at
+  // its cap (evicting, not refusing new entries) and must not change
+  // any encoding — cached vectors are derivable state.
+  SemanticEncoder::Options options;
+  SemanticEncoder encoder(options);
+  encoder.Fit({{"digital", "camera"}});
+
+  const auto first_before = encoder.EncodeTokens({"tok0"});
+  const size_t kDistinct = (1u << 16) + 512;
+  std::vector<std::string> batch;
+  batch.reserve(64);
+  for (size_t i = 0; i < kDistinct; i += 64) {
+    batch.clear();
+    for (size_t j = i; j < i + 64 && j < kDistinct; ++j) {
+      batch.push_back("tok" + std::to_string(j));
+    }
+    (void)encoder.EncodeTokens(batch);
+  }
+  EXPECT_LE(encoder.token_cache_size(), size_t{1} << 16);
+  EXPECT_GT(encoder.token_cache_evictions(), 0u);
+  // "tok0" was evicted long ago; recomputing it after eviction gives
+  // the identical vector.
+  EXPECT_EQ(encoder.EncodeTokens({"tok0"}), first_before);
+
+  // The eviction order is FIFO, so two encoders fed the same sequence
+  // end with identical cache occupancy.
+  SemanticEncoder other(options);
+  other.Fit({{"digital", "camera"}});
+  (void)other.EncodeTokens({"tok0"});
+  for (size_t i = 0; i < kDistinct; i += 64) {
+    batch.clear();
+    for (size_t j = i; j < i + 64 && j < kDistinct; ++j) {
+      batch.push_back("tok" + std::to_string(j));
+    }
+    (void)other.EncodeTokens(batch);
+  }
+  (void)other.EncodeTokens({"tok0"});
+  EXPECT_EQ(other.token_cache_size(), encoder.token_cache_size());
+  EXPECT_EQ(other.token_cache_evictions(), encoder.token_cache_evictions());
+}
+
 }  // namespace
 }  // namespace wym::embedding

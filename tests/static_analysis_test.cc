@@ -154,6 +154,25 @@ TEST(IncludeGraphTest, DownwardAndSidewaysEdgesAreClean) {
   EXPECT_TRUE(report.findings.empty()) << RenderText(report);
 }
 
+TEST(IncludeGraphTest, ServeSitsAboveCoreBesideBlocking) {
+  // serve -> core (down) and serve -> blocking (sideways, 5 -> 5) are
+  // clean; core -> serve is an upward edge and a finding.
+  SourceTree tree;
+  tree.Add("src/core/wym.h", "#pragma once\n");
+  tree.Add("src/blocking/fingerprint.h", "#include \"core/wym.h\"\n");
+  tree.Add("src/serve/service.h",
+           "#include \"core/wym.h\"\n"
+           "#include \"blocking/fingerprint.h\"\n");
+  const Report clean = RunGraphPass(tree);
+  EXPECT_TRUE(clean.findings.empty()) << RenderText(clean);
+
+  tree.Add("src/core/bad.cc", "#include \"serve/service.h\"\n");
+  const Report report = RunGraphPass(tree);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].check, "layer-order");
+  EXPECT_EQ(report.findings[0].path, "src/core/bad.cc");
+}
+
 // ---------------------------------------------------------------------
 // Include graph: cycles
 
@@ -208,6 +227,7 @@ TEST(LayerTest, DeclaredRanksMatchTheDag) {
   EXPECT_EQ(LayerOf("src/matching/stable_marriage.h"), 3);
   EXPECT_EQ(LayerOf("src/core/model.h"), 4);
   EXPECT_EQ(LayerOf("src/explain/explainer.h"), 5);
+  EXPECT_EQ(LayerOf("src/serve/service.h"), 5);
   EXPECT_EQ(LayerOf("tools/wym_cli.cc"), 6);
   EXPECT_EQ(LayerOf("tests/core_test.cc"), 6);
   EXPECT_EQ(LayerOf("README.md"), kLayerUnknown);
@@ -414,6 +434,41 @@ TEST(TaintTest, SinkNamesArePatternMatched) {
   EXPECT_FALSE(IsTaintSink(def, "tools/cli.cc"));
   def.qualified_name = "wym::core::Helper";
   EXPECT_FALSE(IsTaintSink(def, "src/core/m.cc"));
+}
+
+TEST(TaintTest, ServeRenderFunctionsAreSinks) {
+  // The serving layer's wire serializers join the bit-identical
+  // promise: Render* in src/serve is a sink, but only there — a
+  // Render* helper elsewhere (and a non-Render serve function) is not.
+  FunctionDef def;
+  def.qualified_name = "wym::serve::RenderResponse";
+  EXPECT_TRUE(IsTaintSink(def, "src/serve/protocol.cc"));
+  EXPECT_FALSE(IsTaintSink(def, "src/explain/report.cc"));
+  def.qualified_name = "wym::serve::HandleRequest";
+  EXPECT_FALSE(IsTaintSink(def, "src/serve/service.cc"));
+}
+
+TEST(TaintTest, ClockSeedReachingServeRenderPathIsAFinding) {
+  // A clock read leaking into the response-serialization path must be
+  // flagged: the wire bytes would no longer be a pure function of the
+  // Response value.
+  SourceTree tree;
+  tree.Add("src/serve/protocol.cc",
+           "namespace wym::serve {\n"
+           "long Stamp() {\n"
+           "  return std::chrono::steady_clock::now()"
+           ".time_since_epoch().count();\n"
+           "}\n"
+           "const char* RenderResponse(int r) { long t = Stamp(); "
+           "(void)r; (void)t; return \"\"; }\n"
+           "}\n");
+  const Report report = RunTaintPass(tree);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].check, "taint-flow");
+  EXPECT_NE(report.findings[0].message.find(
+                "wym::serve::RenderResponse -> wym::serve::Stamp"),
+            std::string::npos)
+      << report.findings[0].message;
 }
 
 // ---------------------------------------------------------------------

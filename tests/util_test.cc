@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
+#include "util/bounded_cache.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -172,6 +174,67 @@ TEST(StringUtilTest, IsAlphanumericCode) {
 TEST(StringUtilTest, FormatDouble) {
   EXPECT_EQ(strings::FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(strings::FormatDouble(2.0, 0), "2");
+}
+
+TEST(FifoCacheTest, LookupInsertAndSize) {
+  util::FifoCache<std::string, int> cache(4);
+  int value = 0;
+  EXPECT_FALSE(cache.Lookup("a", &value));
+  cache.Insert("a", 1);
+  ASSERT_TRUE(cache.Lookup("a", &value));
+  EXPECT_EQ(value, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.capacity(), 4u);
+}
+
+TEST(FifoCacheTest, EvictsOldestFirstDeterministically) {
+  util::FifoCache<std::string, int> cache(3);
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  cache.Insert("c", 3);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Insert("d", 4);  // Evicts "a", the oldest.
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  int value = 0;
+  EXPECT_FALSE(cache.Lookup("a", &value));
+  EXPECT_TRUE(cache.Lookup("b", &value));
+  EXPECT_TRUE(cache.Lookup("c", &value));
+  EXPECT_TRUE(cache.Lookup("d", &value));
+}
+
+TEST(FifoCacheTest, ReinsertKeepsOriginalValueAndAge) {
+  util::FifoCache<std::string, int> cache(2);
+  cache.Insert("a", 1);
+  cache.Insert("a", 99);  // No-op: existing key keeps value and age.
+  int value = 0;
+  ASSERT_TRUE(cache.Lookup("a", &value));
+  EXPECT_EQ(value, 1);
+  cache.Insert("b", 2);
+  cache.Insert("c", 3);  // "a" is still the oldest entry and goes first.
+  EXPECT_FALSE(cache.Lookup("a", &value));
+  EXPECT_TRUE(cache.Lookup("b", &value));
+}
+
+TEST(FifoCacheTest, ZeroCapacityDisablesCaching) {
+  util::FifoCache<std::string, int> cache(0);
+  cache.Insert("a", 1);
+  int value = 0;
+  EXPECT_FALSE(cache.Lookup("a", &value));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(FifoCacheTest, ClearResetsEntriesButKeepsEvictionCount) {
+  util::FifoCache<std::string, int> cache(2);
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  cache.Insert("c", 3);
+  EXPECT_EQ(cache.evictions(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  int value = 0;
+  EXPECT_FALSE(cache.Lookup("b", &value));
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

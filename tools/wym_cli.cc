@@ -24,6 +24,14 @@
 //                     # compare two bench reports benchmark-by-benchmark
 //                     # (name intersection); exit 4 if any current
 //                     # time_ns exceeds baseline * (1 + tolerance)
+//   wym_cli query     --socket /tmp/wym.sock [--op predict] [--model m]
+//                     [--left 'a|b'] [--right 'a|b'] [--explain]
+//                     [--deadline-ms 0] [--name n] [--path p]
+//                     [--timeout-ms 5000] [--retries 3] [--json]
+//                     # one request against a running wym_serve; retries
+//                     # with capped exponential backoff, but only on
+//                     # connect failure or ResourceExhausted shed —
+//                     # application errors are answered, not retried
 //   wym_cli list      # available benchmark dataset ids
 //
 // train-eval / explain apply the paper's 60-20-20 split internally.
@@ -31,6 +39,8 @@
 // Exit codes: 0 success, 1 usage or other error, 2 I/O error,
 // 3 corruption (failed checksum / damaged file), 4 perf regression
 // (compare-reports only). Failure messages go to stderr.
+
+#include <poll.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +63,8 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "serve/protocol.h"
+#include "serve/socket_io.h"
 
 namespace {
 
@@ -77,6 +89,10 @@ int StatusExit(const Status& status) {
     case Status::Code::kCorruption:
       return kExitCorruption;
     case Status::Code::kIoError:
+    // Operational (not caller-error) failures from a wym_serve query:
+    // the request was valid but the service could not complete it now.
+    case Status::Code::kResourceExhausted:
+    case Status::Code::kDeadlineExceeded:
       return kExitIo;
     default:
       return kExitUsage;
@@ -126,7 +142,7 @@ class Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: wym_cli <generate|train-eval|explain|stats|profile|"
-               "verify|validate-report|compare-reports|list> [flags]\n"
+               "verify|validate-report|compare-reports|query|list> [flags]\n"
                "see the header of tools/wym_cli.cc for the flag list\n");
   return kExitUsage;
 }
@@ -434,6 +450,155 @@ int CmdCompareReports(int argc, char** argv) {
   return regressions == 0 ? kExitOk : kExitRegression;
 }
 
+/// Splits a '|'-separated attribute list ("iphone 4s|black") into
+/// entity values. A lone empty string still yields one empty value, so
+/// `--left '|'` is two empty attributes, not zero.
+std::vector<std::string> SplitValues(const std::string& text) {
+  std::vector<std::string> values;
+  size_t start = 0;
+  while (true) {
+    const size_t bar = text.find('|', start);
+    if (bar == std::string::npos) {
+      values.push_back(text.substr(start));
+      return values;
+    }
+    values.push_back(text.substr(start, bar - start));
+    start = bar + 1;
+  }
+}
+
+/// Lint-safe millisecond sleep for the retry backoff (no chrono clocks).
+void SleepMs(int ms) { ::poll(nullptr, 0, ms); }
+
+/// One attempt against the server: connect, send, await the response
+/// line within `timeout_ms`. Outcomes the caller tells apart:
+///  - Ok + response filled: the server answered (the answer itself may
+///    carry an application error);
+///  - IoError: connect failure / timeout / torn connection.
+Status QueryOnce(const std::string& socket_path,
+                 const serve::Request& request, int timeout_ms,
+                 serve::Response* response) {
+  Result<int> fd = serve::ConnectUnix(socket_path);
+  WYM_RETURN_IF_ERROR(fd.status());
+  serve::LineChannel channel(fd.value());
+  WYM_RETURN_IF_ERROR(channel.WriteLine(serve::RenderRequest(request)));
+  std::string line;
+  bool eof = false;
+  bool timed_out = false;
+  WYM_RETURN_IF_ERROR(channel.ReadLine(&line, timeout_ms, &eof, &timed_out));
+  if (eof) return Status::IoError("server closed connection unanswered");
+  if (timed_out) {
+    return Status::IoError("no response within " +
+                           std::to_string(timeout_ms) + "ms");
+  }
+  Result<serve::Response> parsed = serve::ParseResponse(line);
+  WYM_RETURN_IF_ERROR(parsed.status().Annotate("malformed response"));
+  *response = std::move(parsed).value();
+  return Status::Ok();
+}
+
+/// `query`: one request against a running wym_serve, with bounded
+/// retries. Retry policy is deliberately narrow: only connect failures
+/// and ResourceExhausted sheds are retried (both mean "the server never
+/// did the work"); every other answer — including DeadlineExceeded and
+/// Corruption — is an application outcome, reported once. Backoff is
+/// capped exponential and deterministic (no jitter source in this
+/// codebase by design).
+int CmdQuery(const Args& args) {
+  const std::string socket_path = args.Get("socket");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "--socket <path> is required\n");
+    return kExitUsage;
+  }
+
+  serve::Request request;
+  const std::string op = args.Get("op", "predict");
+  if (op == "ping") {
+    request.op = serve::Request::Op::kPing;
+  } else if (op == "predict") {
+    request.op = serve::Request::Op::kPredict;
+  } else if (op == "stats") {
+    request.op = serve::Request::Op::kStats;
+  } else if (op == "list_models") {
+    request.op = serve::Request::Op::kListModels;
+  } else if (op == "load_model") {
+    request.op = serve::Request::Op::kLoadModel;
+  } else if (op == "retire_model") {
+    request.op = serve::Request::Op::kRetireModel;
+  } else if (op == "shutdown") {
+    request.op = serve::Request::Op::kShutdown;
+  } else {
+    std::fprintf(stderr, "unknown --op '%s'\n", op.c_str());
+    return kExitUsage;
+  }
+  request.id = args.Get("id", "cli");
+  request.model = args.Get("model");
+  request.explain = args.Has("explain");
+  request.deadline_ms = static_cast<uint64_t>(
+      std::strtoull(args.Get("deadline-ms", "0").c_str(), nullptr, 10));
+  request.name = args.Get("name");
+  request.path = args.Get("path");
+  if (request.op == serve::Request::Op::kPredict) {
+    if (!args.Has("left") || !args.Has("right")) {
+      std::fprintf(stderr, "predict needs --left 'a|b' and --right 'a|b'\n");
+      return kExitUsage;
+    }
+    data::EmRecord pair;
+    pair.left.values = SplitValues(args.Get("left"));
+    pair.right.values = SplitValues(args.Get("right"));
+    request.pairs.push_back(std::move(pair));
+  }
+
+  const int timeout_ms = static_cast<int>(
+      std::strtoul(args.Get("timeout-ms", "5000").c_str(), nullptr, 10));
+  const int retries = static_cast<int>(
+      std::strtoul(args.Get("retries", "3").c_str(), nullptr, 10));
+
+  serve::Response response;
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    if (attempt > 0) {
+      // 100ms, 200ms, 400ms, ... capped at 2s.
+      int backoff_ms = 100;
+      for (int i = 1; i < attempt && backoff_ms < 2000; ++i) backoff_ms *= 2;
+      SleepMs(backoff_ms < 2000 ? backoff_ms : 2000);
+    }
+    last = QueryOnce(socket_path, request, timeout_ms, &response);
+    if (!last.ok()) continue;  // Connect failure / timeout: retryable.
+    if (response.status.code() == Status::Code::kResourceExhausted) {
+      last = response.status;  // Shed: the server never did the work.
+      continue;
+    }
+    break;  // Answered (success or application error): report it.
+  }
+  if (!last.ok() &&
+      (last.code() == Status::Code::kIoError ||
+       last.code() == Status::Code::kResourceExhausted)) {
+    std::fprintf(stderr, "query failed after %d attempt(s): %s\n",
+                 retries + 1, last.ToString().c_str());
+    return kExitIo;
+  }
+
+  if (args.Has("json")) {
+    std::printf("%s\n", serve::RenderResponse(response).c_str());
+  } else if (!response.status.ok()) {
+    std::fprintf(stderr, "%s\n", response.status.ToString().c_str());
+  } else if (request.op == serve::Request::Op::kPredict) {
+    for (const serve::PairResult& result : response.results) {
+      std::printf("prediction %d  probability %.6f%s\n", result.prediction,
+                  result.probability, result.cached ? "  (cached)" : "");
+      if (!result.explanation_json.empty()) {
+        std::printf("%s\n", result.explanation_json.c_str());
+      }
+    }
+  } else if (!response.payload_json.empty()) {
+    std::printf("%s\n", response.payload_json.c_str());
+  } else {
+    std::printf("ok\n");
+  }
+  return StatusExit(response.status);
+}
+
 }  // namespace
 
 int CmdProfile(const Args& args) {
@@ -481,5 +646,6 @@ int main(int argc, char** argv) {
   if (command == "profile") return CmdProfile(args);
   if (command == "verify") return CmdVerify(args);
   if (command == "validate-report") return CmdValidateReport(args);
+  if (command == "query") return CmdQuery(args);
   return Usage();
 }

@@ -1,0 +1,176 @@
+// wym_serve — long-lived matcher service over a Unix-domain socket.
+//
+//   wym_serve --socket /tmp/wym.sock --model default=/path/model.wym
+//             [--model name=path]        # one extra named model
+//             [--models models.conf]     # name=path lines, all must load
+//             [--queue-bound 64]         # admission bound (shed beyond)
+//             [--deadline-ms 0]          # default per-request budget
+//             [--watchdog-ms 30000]      # wedge timeout (0 disables)
+//             [--cache 4096]             # prediction cache entries
+//             [--stats-out stats.json]   # final snapshot on shutdown
+//             [--enable-debug-ops]       # test-only debug_sleep op
+//
+// Speaks the JSON-lines protocol of src/serve/protocol.h. Models load
+// through v2 frame verification: a corrupt file is rejected at startup
+// (exit 3) or, when hot-loaded over the socket, answered with a typed
+// Corruption error while the previous model keeps serving.
+//
+// SIGTERM/SIGINT begin a graceful drain: stop accepting, shed new work
+// with ResourceExhausted, finish or deadline-out everything in flight,
+// then flush a final stats snapshot (stdout, plus --stats-out when
+// given) and exit 0. Worker threads come from the global pool
+// (WYM_THREADS).
+//
+// Exit codes match wym_cli: 0 clean shutdown, 1 usage, 2 I/O error,
+// 3 corrupt model file.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/io.h"
+
+namespace {
+
+using namespace wym;
+
+enum ExitCode {
+  kExitOk = 0,
+  kExitUsage = 1,
+  kExitIo = 2,
+  kExitCorruption = 3,
+};
+
+int StatusExit(const Status& status) {
+  if (status.ok()) return kExitOk;
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  switch (status.code()) {
+    case Status::Code::kCorruption:
+      return kExitCorruption;
+    case Status::Code::kIoError:
+      return kExitIo;
+    default:
+      return kExitUsage;
+  }
+}
+
+/// Same --key value / --flag grammar as wym_cli, minus the subcommand
+/// slot (wym_serve has exactly one job).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(kExitUsage);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // Boolean flag.
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    return Has(key) ? std::strtoull(Get(key).c_str(), nullptr, 10)
+                    : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wym_serve --socket <path> "
+               "(--model name=path | --models <conf>) [flags]\n"
+               "see the header of tools/wym_serve.cc for the flag list\n");
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::string socket_path = args.Get("socket");
+  if (socket_path.empty()) return Usage();
+
+  serve::ModelRegistry registry;
+  if (args.Has("models")) {
+    const Status status = registry.LoadConfigFile(args.Get("models"));
+    if (!status.ok()) return StatusExit(status);
+  }
+  if (args.Has("model")) {
+    const std::string spec = args.Get("model");
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      std::fprintf(stderr, "--model expects name=path, got '%s'\n",
+                   spec.c_str());
+      return kExitUsage;
+    }
+    const Status status =
+        registry.LoadModel(spec.substr(0, eq), spec.substr(eq + 1));
+    if (!status.ok()) return StatusExit(status);
+  }
+  if (registry.size() == 0) {
+    std::fprintf(stderr,
+                 "no models: pass --model name=path or --models <conf>\n");
+    return kExitUsage;
+  }
+
+  serve::ServiceOptions service_options;
+  service_options.queue_bound =
+      static_cast<size_t>(args.GetUint("queue-bound", 64));
+  service_options.default_deadline_ms = args.GetUint("deadline-ms", 0);
+  service_options.wedge_timeout_ms = args.GetUint("watchdog-ms", 30000);
+  service_options.cache_entries =
+      static_cast<size_t>(args.GetUint("cache", 4096));
+  service_options.enable_debug_ops = args.Has("enable-debug-ops");
+  serve::MatcherService service(&registry, service_options);
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  serve::ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  server_options.stop_requested = [] { return g_stop_requested != 0; };
+  serve::SocketServer server(&service, server_options);
+
+  std::printf("wym_serve listening on %s (%zu model(s), queue bound %zu)\n",
+              socket_path.c_str(), registry.size(),
+              service_options.queue_bound);
+  std::fflush(stdout);
+
+  const Status served = server.Serve();
+  if (!served.ok()) return StatusExit(served.Annotate("serve"));
+
+  // Final stats snapshot: the drain's last word, so an operator (or the
+  // smoke test) can see what the process did before it went away.
+  const std::string stats = service.StatsJson();
+  std::printf("%s\n", stats.c_str());
+  if (args.Has("stats-out")) {
+    const Status written = io::WriteFileAtomic(args.Get("stats-out"), stats);
+    if (!written.ok()) return StatusExit(written.Annotate("--stats-out"));
+  }
+  return kExitOk;
+}
