@@ -4,11 +4,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
+
 #include "bench_common.h"
 #include "core/tokenized_record.h"
 #include "core/unit_generator.h"
+#include "core/wym.h"
 #include "data/benchmark_gen.h"
 #include "data/csv.h"
+#include "data/split.h"
+#include "obs/event_log.h"
+#include "obs/recorder.h"
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
 #include "la/kernels.h"
 #include "la/vector_ops.h"
 #include "nn/mlp.h"
@@ -357,6 +367,128 @@ void BM_GenerateDataset(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenerateDataset);
+
+// --- Serving-path telemetry overhead -------------------------------
+// BM_ServePredict_TelemetryOff vs _TelemetryOn is the <=2% overhead
+// gate from DESIGN.md "Telemetry": the On variant journals every
+// request and records it into the flight-recorder ring; everything
+// else (model, pairs, cache-off compute) is identical.
+
+/// Lazily-built serving fixture: one fitted model registered under
+/// "default" plus the test pairs to predict. Built on first use so
+/// `--benchmark_filter` runs that skip the serve benchmarks never pay
+/// the fit.
+struct ServeBenchEnv {
+  data::Dataset dataset;
+  data::Split split;
+  serve::ModelRegistry registry;
+  bool ok = false;
+
+  ServeBenchEnv()
+      : dataset(data::GenerateById("S-FZ", 42, 0.2)),
+        split(data::DefaultSplit(dataset, 42)) {
+    core::WymModel model;
+    model.Fit(split.train, split.validation);
+    const std::string path = "/tmp/wym_bench_serve.model.wym";
+    if (!model.SaveToFile(path).ok()) return;
+    ok = registry.LoadModel("default", path).ok();
+    std::remove(path.c_str());
+  }
+
+  static ServeBenchEnv& Get() {
+    static ServeBenchEnv env;
+    return env;
+  }
+};
+
+void ServePredictLoop(benchmark::State& state, bool telemetry) {
+  ServeBenchEnv& env = ServeBenchEnv::Get();
+  if (!env.ok) {
+    state.SkipWithError("serve fixture failed to build");
+    return;
+  }
+  std::unique_ptr<wym::obs::EventLog> journal;
+  std::unique_ptr<wym::obs::FlightRecorder> recorder;
+  const std::string journal_path = "/tmp/wym_bench_serve.journal.jsonl";
+  serve::ServiceOptions options;
+  options.auto_dispatch = false;
+  options.cache_entries = 0;  // Compute-dominated: every pair is a miss.
+  if (telemetry) {
+    wym::obs::EventLog::Options journal_options;
+    journal_options.path = journal_path;
+    journal = std::make_unique<wym::obs::EventLog>(journal_options);
+    std::string error;
+    if (!journal->Open(&error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    recorder = std::make_unique<wym::obs::FlightRecorder>(256);
+    options.journal = journal.get();
+    options.recorder = recorder.get();
+  }
+  serve::MatcherService service(&env.registry, options);
+
+  size_t i = 0;
+  for (auto _ : state) {
+    serve::Request request;
+    request.op = serve::Request::Op::kPredict;
+    request.id = "bench";
+    request.pairs.push_back(
+        env.split.test.records[i % env.split.test.size()]);
+    ++i;
+    bool answered = false;
+    const wym::Status admitted = service.Admit(
+        std::move(request),
+        [&answered](const serve::Response&) { answered = true; });
+    (void)admitted;
+    service.ProcessQueued();
+    benchmark::DoNotOptimize(answered);
+  }
+  if (journal != nullptr) {
+    journal->Close();
+    std::remove(journal_path.c_str());
+    std::remove((journal_path + ".1").c_str());
+  }
+}
+
+void BM_ServePredict_TelemetryOff(benchmark::State& state) {
+  ServePredictLoop(state, false);
+}
+BENCHMARK(BM_ServePredict_TelemetryOff);
+
+void BM_ServePredict_TelemetryOn(benchmark::State& state) {
+  ServePredictLoop(state, true);
+}
+BENCHMARK(BM_ServePredict_TelemetryOn);
+
+void BM_JournalAppend(benchmark::State& state) {
+  // The raw journal hot path alone: render + rotate check + fwrite +
+  // flush for one record.
+  wym::obs::EventLog::Options options;
+  options.path = "/tmp/wym_bench_journal.jsonl";
+  wym::obs::EventLog journal(options);
+  std::string error;
+  if (!journal.Open(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  wym::obs::RequestRecord record;
+  wym::obs::SetRecordField(record.client_id, sizeof(record.client_id),
+                           "bench");
+  wym::obs::SetRecordField(record.op, sizeof(record.op), "predict");
+  wym::obs::SetRecordField(record.model, sizeof(record.model), "default#1");
+  record.pairs = 1;
+  record.batches = 1;
+  uint64_t sequence = 0;
+  for (auto _ : state) {
+    record.sequence = ++sequence;
+    journal.Append(record);
+  }
+  journal.Close();
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".1").c_str());
+}
+BENCHMARK(BM_JournalAppend);
 
 }  // namespace
 

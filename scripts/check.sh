@@ -90,6 +90,53 @@ run_config asan-ubsan -DWYM_SANITIZE=address,undefined
 # Debug invariant tier: WYM_DCHECK bounds/dimension/NaN checks live.
 run_config debug-checks -DWYM_DEBUG_CHECKS=ON
 
+# Short live serving session with telemetry on: train a tiny model,
+# serve it, answer a few requests, drain, then require the exported
+# wym-telemetry/v1 artifact and the request journal to validate. This
+# is the end-to-end proof that a real wym_serve run leaves
+# schema-valid telemetry behind.
+serve_telemetry_check() {
+  build=$1
+  work="$CHECK_DIR/serve-telemetry"
+  rm -rf "$work"
+  mkdir -p "$work"
+  "$build/tools/wym_cli" generate --dataset S-FZ --out "$work/data.csv" \
+    --seed 42 --scale 0.2 || return 1
+  "$build/tools/wym_cli" train-eval --data "$work/data.csv" \
+    --save "$work/model.wym" || return 1
+  "$build/tools/wym_serve" --socket "$work/wym.sock" \
+    --model "default=$work/model.wym" \
+    --journal "$work/journal.jsonl" \
+    --recorder 64 --recorder-out "$work/postmortem.json" \
+    --telemetry-out "$work/telemetry.json" --telemetry-period 1 &
+  serve_pid=$!
+  i=0
+  until "$build/tools/wym_cli" query --socket "$work/wym.sock" --op ping \
+        --retries 0 --timeout-ms 2000 > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+      kill "$serve_pid" 2>/dev/null
+      wait "$serve_pid" 2>/dev/null
+      return 1
+    fi
+    sleep 0.1
+  done
+  for n in 1 2 3 4 5 6 7 8; do
+    "$build/tools/wym_cli" query --socket "$work/wym.sock" --op ping \
+      --retries 0 > /dev/null 2>&1 || { kill "$serve_pid" 2>/dev/null; \
+        wait "$serve_pid" 2>/dev/null; return 1; }
+  done
+  sleep 1
+  "$build/tools/wym_cli" query --socket "$work/wym.sock" --op shutdown \
+    --retries 0 > /dev/null 2>&1
+  wait "$serve_pid" || return 1
+  "$build/tools/wym_cli" validate-report --file "$work/telemetry.json" \
+    || return 1
+  "$build/tools/wym_cli" validate-report --file "$work/journal.jsonl" \
+    || return 1
+  "$build/tools/wym_cli" validate-report --file "$work/postmortem.json"
+}
+
 # Perf report: bench_micro --json and bench_blocking --json must emit
 # schema-valid wym-bench-report/v1 files (the BENCH_*.json trajectory).
 # Reuses the release tree; a short benchmark subset and a small blocking
@@ -99,6 +146,10 @@ run_config debug-checks -DWYM_DEBUG_CHECKS=ON
 # tool's 10% default) absorbs the noise of short runs on loaded
 # single-CPU CI boxes while still catching order-of-magnitude cliffs.
 # Reseed the baseline after intentional perf changes (see DESIGN.md).
+# The serve benchmarks put the telemetry on/off pair into the report so
+# the <=2% overhead budget is visible in the BENCH_micro.json
+# trajectory, and serve_telemetry_check proves a live session exports
+# valid artifacts.
 run_perf_report() {
   name=perf-report
   if [ "$ONLY" != all ] && [ "$ONLY" != "$name" ]; then
@@ -111,9 +162,10 @@ run_perf_report() {
   echo "==> [$name] bench_micro/bench_blocking --json + schema validation"
   if cmake -B "$build" -S "$ROOT" > "$log" 2>&1 \
      && cmake --build "$build" -j "$JOBS" \
-        --target bench_micro bench_blocking wym_cli >> "$log" 2>&1 \
+        --target bench_micro bench_blocking wym_cli wym_serve_bin \
+        >> "$log" 2>&1 \
      && "$build/bench/bench_micro" --json="$report" \
-        --benchmark_filter='BM_Dot|BM_UnitGeneration_Cached' \
+        --benchmark_filter='BM_Dot|BM_UnitGeneration_Cached|BM_ServePredict' \
         --benchmark_min_time=0.01 >> "$log" 2>&1 \
      && "$build/tools/wym_cli" validate-report --file "$report" \
         >> "$log" 2>&1 \
@@ -122,6 +174,7 @@ run_perf_report() {
         >> "$log" 2>&1 \
      && "$build/tools/wym_cli" validate-report --file "$blocking_report" \
         >> "$log" 2>&1 \
+     && serve_telemetry_check "$build" >> "$log" 2>&1 \
      && "$build/tools/wym_cli" compare-reports "$ROOT/BENCH_micro.json" \
         "$report" --tolerance 0.6 >> "$log" 2>&1
   then

@@ -88,6 +88,16 @@ bool IsTaintSink(const FunctionDef& def, const std::string& path) {
       strings::StartsWith(def.Name(), "Render")) {
     return true;
   }
+  // Telemetry artifacts carry the same promise: a journal line,
+  // flight-recorder dump, or telemetry export must be a pure function
+  // of the record/window values it serializes (the injectable clock is
+  // the only time source), so the src/obs Render*/Dump* entry points
+  // are sinks too.
+  if (strings::StartsWith(path, "src/obs/") &&
+      (strings::StartsWith(def.Name(), "Render") ||
+       strings::StartsWith(def.Name(), "Dump"))) {
+    return true;
+  }
   return IsSinkName(def.Name());
 }
 

@@ -30,8 +30,10 @@ std::size_t ShardIndex() {
 }  // namespace internal
 
 double HistogramSnapshot::Percentile(double p) const {
-  if (count == 0) return 0.0;
-  if (p < 0.0) p = 0.0;
+  if (count == 0 || buckets.empty()) return 0.0;
+  // !(p > 0) also catches NaN: both clamp to the low edge rather than
+  // propagating NaN through the interpolation below.
+  if (!(p > 0.0)) p = 0.0;
   if (p > 1.0) p = 1.0;
   const double target = p * static_cast<double>(count);
   std::uint64_t cumulative = 0;
@@ -40,7 +42,9 @@ double HistogramSnapshot::Percentile(double p) const {
     const std::uint64_t before = cumulative;
     cumulative += buckets[b];
     if (static_cast<double>(cumulative) < target) continue;
-    // Interpolate linearly inside bucket b: [lower, upper].
+    // Interpolate linearly inside bucket b: [lower, upper]. With all
+    // mass in one bucket this sweeps lower -> upper as p goes 0 -> 1
+    // (p = 0 returns the bucket's low edge exactly).
     const double lower = b == 0 ? 0.0 : static_cast<double>(1ull << b);
     const double upper = static_cast<double>(Histogram::BucketUpperBound(b));
     const double into =
@@ -48,8 +52,29 @@ double HistogramSnapshot::Percentile(double p) const {
         static_cast<double>(buckets[b]);
     return lower + into * (upper - lower);
   }
-  return static_cast<double>(
-      Histogram::BucketUpperBound(buckets.empty() ? 0 : buckets.size() - 1));
+  // Rounding pushed `target` past every populated bucket: clamp to the
+  // upper bound of the last *non-empty* bucket, not the last bucket of
+  // the array (which would overstate a fast histogram by orders of
+  // magnitude).
+  for (std::size_t b = buckets.size(); b-- > 0;) {
+    if (buckets[b] != 0) {
+      return static_cast<double>(Histogram::BucketUpperBound(b));
+    }
+  }
+  return 0.0;
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& base) const {
+  HistogramSnapshot delta;
+  delta.buckets.assign(buckets.size(), 0);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t then = b < base.buckets.size() ? base.buckets[b] : 0;
+    delta.buckets[b] = buckets[b] > then ? buckets[b] - then : 0;
+    delta.count += delta.buckets[b];
+  }
+  delta.sum = sum > base.sum ? sum - base.sum : 0;
+  return delta;
 }
 
 HistogramSnapshot Histogram::Snapshot() const {

@@ -139,9 +139,17 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
-  /// p in [0, 1]; e.g. Percentile(0.95). Returns 0 for an empty
-  /// histogram.
+  /// p in [0, 1]; e.g. Percentile(0.95). Out-of-range (and NaN) p
+  /// clamps: p <= 0 returns the low edge of the first non-empty
+  /// bucket, p >= 1 the upper bound of the last non-empty bucket.
+  /// Returns 0 for an empty histogram.
   double Percentile(double p) const;
+
+  /// This snapshot minus an earlier `base` of the same histogram
+  /// (bucket-wise, saturating at 0) — the per-window view used by
+  /// obs::WindowTracker. Counts are monotonic, so for two snapshots of
+  /// one histogram the saturation never engages.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& base) const;
 };
 
 /// Fixed-bucket latency histogram over non-negative integer samples

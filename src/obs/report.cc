@@ -132,4 +132,52 @@ bool ValidateBenchReportJson(const std::string& text, std::string* error) {
   return true;
 }
 
+bool ValidateTelemetryJson(const std::string& text, std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  if (!root.IsObject()) {
+    return Fail(error, "telemetry: top level is not an object");
+  }
+  const JsonValue* schema = RequireMember(root, "schema",
+                                          JsonValue::Kind::kString,
+                                          "telemetry", error);
+  if (schema == nullptr) return false;
+  if (schema->string != "wym-telemetry/v1") {
+    return Fail(error, "telemetry: unknown schema \"" + schema->string +
+                           "\" (expected wym-telemetry/v1)");
+  }
+  for (const char* key : {"now_ns", "samples"}) {
+    const JsonValue* member = RequireMember(root, key,
+                                            JsonValue::Kind::kNumber,
+                                            "telemetry", error);
+    if (member == nullptr) return false;
+    if (member->number < 0) {
+      return Fail(error, std::string("telemetry: negative \"") + key + "\"");
+    }
+  }
+  const JsonValue* windows = RequireMember(root, "windows",
+                                           JsonValue::Kind::kObject,
+                                           "telemetry", error);
+  if (windows == nullptr) return false;
+  if (windows->object.empty()) {
+    return Fail(error, "telemetry: \"windows\" has no entries");
+  }
+  for (const auto& [label, window] : windows->object) {
+    const std::string w = "windows[\"" + label + "\"]";
+    if (!window.IsObject()) return Fail(error, w + ": not an object");
+    for (const char* key :
+         {"window_ns", "requests", "qps", "shed", "shed_rate", "cache_hits",
+          "cache_misses", "cache_hit_rate", "p50_ns", "p95_ns", "p99_ns"}) {
+      const JsonValue* member = RequireMember(window, key,
+                                              JsonValue::Kind::kNumber,
+                                              w.c_str(), error);
+      if (member == nullptr) return false;
+      if (member->number < 0) {
+        return Fail(error, w + ": negative \"" + key + "\"");
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace wym::obs

@@ -31,6 +31,14 @@ bool ValidateTraceJson(const std::string& text, std::string* error);
 /// True when `text` conforms to the wym-bench-report/v1 schema.
 bool ValidateBenchReportJson(const std::string& text, std::string* error);
 
+/// True when `text` conforms to the wym-telemetry/v1 schema (the
+/// windowed serving stats artifact written by obs::WindowTracker /
+/// wym_serve --telemetry-out): schema marker, numeric now_ns and
+/// samples, and a "windows" object whose members each carry the full
+/// numeric stat set (window_ns, requests, qps, shed, shed_rate,
+/// cache_hits, cache_misses, cache_hit_rate, p50_ns, p95_ns, p99_ns).
+bool ValidateTelemetryJson(const std::string& text, std::string* error);
+
 }  // namespace wym::obs
 
 #endif  // WYM_OBS_REPORT_H_

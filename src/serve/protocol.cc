@@ -350,6 +350,9 @@ std::string RenderResponse(const Response& response) {
   if (!response.id.empty()) {
     out += ",\"id\":" + EscapeJsonString(response.id);
   }
+  if (!response.request_id.empty()) {
+    out += ",\"req\":" + EscapeJsonString(response.request_id);
+  }
   if (!response.op.empty()) {
     out += ",\"op\":" + EscapeJsonString(response.op);
   }
@@ -398,6 +401,7 @@ Result<Response> ParseResponse(const std::string& line) {
   }
   Response response;
   WYM_RETURN_IF_ERROR(GetString(root, "id", &response.id));
+  WYM_RETURN_IF_ERROR(GetString(root, "req", &response.request_id));
   WYM_RETURN_IF_ERROR(GetString(root, "op", &response.op));
   WYM_RETURN_IF_ERROR(GetString(root, "model", &response.model));
   const obs::JsonValue* ok = root.Find("ok");

@@ -99,6 +99,11 @@ struct PairResult {
 /// op-specific payload.
 struct Response {
   std::string id;
+  /// Server-minted admission id ("q<seq>", wire key "req"): unique per
+  /// admission, so two retries of the same client `id` are
+  /// distinguishable in the request journal. Empty for responses not
+  /// produced by MatcherService (e.g. transport-level parse errors).
+  std::string request_id;
   std::string op;
   Status status;
   std::string model;

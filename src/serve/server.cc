@@ -87,13 +87,17 @@ Status SocketServer::Serve() {
         slept_ms += 10;
         if (slept_ms < options_.watchdog_interval_ms) continue;
         slept_ms = 0;
-        service_->PokeWatchdog(obs::NowNanos());
+        const size_t recovered = service_->PokeWatchdog(obs::NowNanos());
+        if (recovered > 0 && options_.on_watchdog_recover) {
+          options_.on_watchdog_recover(recovered);
+        }
       }
     });
   }
 
   std::vector<std::thread> connections;
   while (true) {
+    if (options_.on_tick) options_.on_tick();
     if ((options_.stop_requested && options_.stop_requested()) ||
         service_->draining()) {
       break;

@@ -37,6 +37,15 @@ struct ServerOptions {
   /// Per-read idle timeout on connection threads; bounds how long a
   /// drain waits on a silent client.
   int read_timeout_ms = 250;
+  /// Invoked on the accept loop every poll iteration (~100ms cadence).
+  /// wym_serve hangs telemetry housekeeping here: WindowTracker ticks,
+  /// periodic telemetry export, and the SIGQUIT flight-recorder dump.
+  /// Must be quick and non-blocking.
+  std::function<void()> on_tick;
+  /// Invoked from the watchdog thread right after PokeWatchdog
+  /// recovers `n` > 0 wedged requests — the hook wym_serve uses to
+  /// dump the flight recorder at the moment of the incident.
+  std::function<void(size_t)> on_watchdog_recover;
 };
 
 class SocketServer {

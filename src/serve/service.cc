@@ -57,6 +57,18 @@ obs::Counter& CacheMissCounter() {
   return counter;
 }
 
+obs::Counter& ShedCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve.shed");
+  return counter;
+}
+
+obs::Counter& DeadlineCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve.deadline_expired");
+  return counter;
+}
+
 Response ErrorResponse(const Request& request, Status status) {
   Response response;
   response.id = request.id;
@@ -92,68 +104,138 @@ uint64_t MatcherService::Now() const {
   return options_.now_ns ? options_.now_ns() : obs::NowNanos();
 }
 
-bool MatcherService::Respond(const StatePtr& state,
-                             const Response& response) {
+bool MatcherService::Respond(const StatePtr& state, Response response) {
   if (state->answered.exchange(true)) return false;
+  // The minted admission id rides every response ("req"), so a client
+  // retry (same client id, new admission) is distinguishable in the
+  // journal.
+  char minted[obs::RequestRecord::kIdBytes];
+  response.request_id =
+      obs::RenderRequestId(state->sequence, minted, sizeof(minted));
   state->responder(response);
   return true;
 }
 
+obs::RequestRecord MatcherService::BuildRecord(
+    const RequestState& state, uint64_t end_ns,
+    obs::RequestOutcome outcome) const {
+  obs::RequestRecord record;
+  record.sequence = state.sequence;
+  obs::SetRecordField(record.client_id, sizeof(record.client_id),
+                      state.request.id);
+  obs::SetRecordField(record.op, sizeof(record.op),
+                      OpName(state.request.op));
+  if (state.request.op == Request::Op::kPredict) {
+    const std::string name = state.request.model.empty()
+                                 ? kDefaultModelName
+                                 : state.request.model;
+    obs::SetRecordField(
+        record.model, sizeof(record.model),
+        name + "#" + std::to_string(state.generation.load(
+                         std::memory_order_relaxed)));
+  }
+  record.admit_ns = state.admit_ns;
+  const uint64_t started = state.started_ns.load(std::memory_order_relaxed);
+  if (started != 0) {
+    record.queue_ns = started > state.admit_ns ? started - state.admit_ns : 0;
+    record.run_ns = end_ns > started ? end_ns - started : 0;
+  }
+  record.total_ns = end_ns > state.admit_ns ? end_ns - state.admit_ns : 0;
+  record.pairs = static_cast<uint32_t>(state.request.pairs.size());
+  record.batches = state.batches.load(std::memory_order_relaxed);
+  record.cached = state.cached.load(std::memory_order_relaxed);
+  record.outcome = outcome;
+  return record;
+}
+
+void MatcherService::EmitRecord(const obs::RequestRecord& record) {
+  if (options_.journal != nullptr) options_.journal->Append(record);
+  if (options_.recorder != nullptr) options_.recorder->Record(record);
+}
+
+obs::RequestOutcome MatcherService::ClassifyOutcome(
+    const RequestState& state, const Response& response) const {
+  if (!response.status.ok()) {
+    return response.status.code() == Status::Code::kDeadlineExceeded
+               ? obs::RequestOutcome::kDeadline
+               : obs::RequestOutcome::kError;
+  }
+  if (state.request.op == Request::Op::kPredict &&
+      !state.request.pairs.empty() &&
+      state.cached.load(std::memory_order_relaxed) ==
+          state.request.pairs.size()) {
+    return obs::RequestOutcome::kCacheHit;
+  }
+  return obs::RequestOutcome::kOk;
+}
+
 Status MatcherService::Admit(Request request, Responder responder) {
   RequestsCounter().Add(1);
+  // Every request — inline, queued, or shed — takes an admission
+  // sequence number and stamp; together they mint the journal id.
+  const uint64_t sequence =
+      next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t admit_ns = Now();
+  const bool telemetry =
+      options_.journal != nullptr || options_.recorder != nullptr;
 
   // Introspection ops answer inline on the admission thread: they are
   // cheap, must work even under overload (stats during an incident is
   // the whole point), and keep serving during drain.
+  Response inline_response;
+  bool answered_inline = false;
   switch (request.op) {
-    case Request::Op::kPing: {
-      Response response;
-      response.id = request.id;
-      response.op = OpName(request.op);
-      response.payload_json = "{\"protocol\":\"" +
-                              std::string(kProtocolName) + "\"}";
-      responder(response);
-      return Status::Ok();
-    }
-    case Request::Op::kStats: {
-      Response response;
-      response.id = request.id;
-      response.op = OpName(request.op);
-      response.payload_json = StatsJson();
-      responder(response);
-      return Status::Ok();
-    }
-    case Request::Op::kListModels: {
-      Response response;
-      response.id = request.id;
-      response.op = OpName(request.op);
-      response.payload_json = ModelListJson();
-      responder(response);
-      return Status::Ok();
-    }
-    case Request::Op::kShutdown: {
+    case Request::Op::kPing:
+      inline_response.payload_json = "{\"protocol\":\"" +
+                                     std::string(kProtocolName) + "\"}";
+      answered_inline = true;
+      break;
+    case Request::Op::kStats:
+      inline_response.payload_json = StatsJson();
+      answered_inline = true;
+      break;
+    case Request::Op::kListModels:
+      inline_response.payload_json = ModelListJson();
+      answered_inline = true;
+      break;
+    case Request::Op::kShutdown:
       BeginDrain();
-      Response response;
-      response.id = request.id;
-      response.op = OpName(request.op);
-      response.payload_json = "{\"draining\":true}";
-      responder(response);
-      return Status::Ok();
-    }
+      inline_response.payload_json = "{\"draining\":true}";
+      answered_inline = true;
+      break;
     default:
       break;
   }
-
   if (request.op == Request::Op::kDebugSleep && !options_.enable_debug_ops) {
     Status status = Status::InvalidArgument("debug ops are disabled");
-    responder(ErrorResponse(request, status));
+    inline_response.status = status;
+    answered_inline = true;
+  }
+  if (answered_inline) {
+    const Status status = inline_response.status;
+    inline_response.id = request.id;
+    inline_response.op = OpName(request.op);
+    char minted[obs::RequestRecord::kIdBytes];
+    inline_response.request_id =
+        obs::RenderRequestId(sequence, minted, sizeof(minted));
+    responder(inline_response);
+    if (telemetry) {
+      RequestState scratch;
+      scratch.request = std::move(request);
+      scratch.sequence = sequence;
+      scratch.admit_ns = admit_ns;
+      EmitRecord(BuildRecord(scratch, Now(),
+                             status.ok() ? obs::RequestOutcome::kOk
+                                         : obs::RequestOutcome::kError));
+    }
     return status;
   }
 
   auto state = std::make_shared<RequestState>();
   state->request = std::move(request);
   state->responder = std::move(responder);
-  state->admit_ns = Now();
+  state->sequence = sequence;
+  state->admit_ns = admit_ns;
   const uint64_t budget_ms = state->request.deadline_ms != 0
                                  ? state->request.deadline_ms
                                  : options_.default_deadline_ms;
@@ -161,24 +243,31 @@ Status MatcherService::Admit(Request request, Responder responder) {
     state->deadline_ns = state->admit_ns + budget_ms * kMillisToNanos;
   }
 
+  Status admit_status;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    Status status;
     if (draining_) {
-      status = Status::ResourceExhausted("draining: not accepting new work");
+      admit_status =
+          Status::ResourceExhausted("draining: not accepting new work");
     } else if (queue_.size() >= options_.queue_bound) {
-      status = Status::ResourceExhausted(
+      admit_status = Status::ResourceExhausted(
           "queue full (" + std::to_string(options_.queue_bound) +
           " requests); retry with backoff");
+    } else {
+      queue_.push_back(state);
+      QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
     }
-    if (!status.ok()) {
-      // Shed: answered immediately with the typed error — never
-      // blocked waiting for capacity, never silently dropped.
-      Respond(state, ErrorResponse(state->request, status));
-      return status;
+  }
+  if (!admit_status.ok()) {
+    // Shed: answered immediately with the typed error — never blocked
+    // waiting for capacity, never silently dropped. Outside the lock:
+    // journal emission is file I/O and must not stall admissions.
+    Respond(state, ErrorResponse(state->request, admit_status));
+    ShedCounter().Add(1);
+    if (telemetry) {
+      EmitRecord(BuildRecord(*state, Now(), obs::RequestOutcome::kShed));
     }
-    queue_.push_back(state);
-    QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
+    return admit_status;
   }
   AdmittedCounter().Add(1);
 
@@ -202,7 +291,9 @@ bool MatcherService::ProcessOne() {
   }
   state->started_ns.store(Now());
 
-  Respond(state, Execute(state.get()));
+  Response response = Execute(state.get());
+  const obs::RequestOutcome outcome = ClassifyOutcome(*state, response);
+  const bool answered = Respond(state, std::move(response));
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -211,7 +302,16 @@ bool MatcherService::ProcessOne() {
         in_flight_.end());
     if (queue_.empty() && in_flight_.empty()) idle_cv_.notify_all();
   }
-  RequestLatencyHistogram().Record(Now() - state->admit_ns);
+  const uint64_t end_ns = Now();
+  RequestLatencyHistogram().Record(end_ns - state->admit_ns);
+  // Journal only when this thread won the answer race: a watchdog that
+  // already recovered the request has already journaled it as wedged.
+  if (answered) {
+    if (outcome == obs::RequestOutcome::kDeadline) DeadlineCounter().Add(1);
+    if (options_.journal != nullptr || options_.recorder != nullptr) {
+      EmitRecord(BuildRecord(*state, end_ns, outcome));
+    }
+  }
   return true;
 }
 
@@ -266,6 +366,9 @@ size_t MatcherService::PokeWatchdog(uint64_t now_ns) {
     if (Respond(state, ErrorResponse(state->request, status))) {
       ++recovered;
       WedgedCounter().Add(1);
+      if (options_.journal != nullptr || options_.recorder != nullptr) {
+        EmitRecord(BuildRecord(*state, now_ns, obs::RequestOutcome::kWedged));
+      }
     }
   }
   return recovered;
@@ -296,7 +399,7 @@ Response MatcherService::Execute(RequestState* state) {
   }
   switch (state->request.op) {
     case Request::Op::kPredict:
-      return ExecutePredict(*state);
+      return ExecutePredict(state);
     case Request::Op::kLoadModel:
     case Request::Op::kRetireModel:
       return ExecuteRegistryOp(*state);
@@ -310,7 +413,8 @@ Response MatcherService::Execute(RequestState* state) {
   }
 }
 
-Response MatcherService::ExecutePredict(const RequestState& state) {
+Response MatcherService::ExecutePredict(RequestState* state_ptr) {
+  RequestState& state = *state_ptr;
   const Request& request = state.request;
   const RegisteredModel registered = registry_->Get(request.model);
   if (registered.model == nullptr) {
@@ -327,6 +431,7 @@ Response MatcherService::ExecutePredict(const RequestState& state) {
   const std::string model_id = name + "#" +
                                std::to_string(registered.generation) +
                                (request.explain ? "+x" : "");
+  state.generation.store(registered.generation, std::memory_order_relaxed);
 
   Response response;
   response.id = request.id;
@@ -347,6 +452,7 @@ Response MatcherService::ExecutePredict(const RequestState& state) {
                        " pairs"));
     }
     const size_t end = std::min(begin + slice, request.pairs.size());
+    state.batches.fetch_add(1, std::memory_order_relaxed);
 
     // Cache pass: resolve hits, collect misses for one batch call.
     std::vector<size_t> miss_indices;
@@ -357,6 +463,7 @@ Response MatcherService::ExecutePredict(const RequestState& state) {
       CachedPrediction cached;
       if (cache_.Lookup(key, &cached)) {
         CacheHitCounter().Add(1);
+        state.cached.fetch_add(1, std::memory_order_relaxed);
         response.results[i].prediction = cached.prediction;
         response.results[i].probability = cached.probability;
         response.results[i].explanation_json = cached.explanation_json;
@@ -478,6 +585,25 @@ std::string MatcherService::StatsJson() const {
     out += EscapeJsonString(name);
   }
   out += "]";
+  // Telemetry sections appear only when the matching sink is
+  // configured, keeping the payload identical to pre-telemetry serving
+  // when everything is off.
+  if (options_.windows != nullptr) {
+    out += ",\"windows\":" + options_.windows->WindowsJson();
+  }
+  if (options_.journal != nullptr) {
+    out += ",\"journal\":{\"path\":" +
+           EscapeJsonString(options_.journal->path()) +
+           ",\"lines\":" + std::to_string(options_.journal->lines_written()) +
+           ",\"rotations\":" +
+           std::to_string(options_.journal->rotations()) + "}";
+  }
+  if (options_.recorder != nullptr) {
+    out += ",\"recorder\":{\"capacity\":" +
+           std::to_string(options_.recorder->capacity()) +
+           ",\"recorded\":" +
+           std::to_string(options_.recorder->recorded()) + "}";
+  }
   out += ",\"metrics\":" +
          obs::MetricsToJson(obs::Registry::Global().Snapshot());
   out += "}";

@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/recorder.h"
+#include "obs/window.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_cache.h"
 #include "serve/protocol.h"
@@ -65,6 +68,18 @@ struct ServiceOptions {
   /// Defaults to obs::NowNanos; tests install a fake clock to make
   /// deadline and wedge behaviour fully deterministic.
   std::function<uint64_t()> now_ns;
+  /// Telemetry sinks, all optional and caller-owned (must outlive the
+  /// service). Null = that sink is off (branch-only cost on the serve
+  /// path); none of them feeds back into any computation.
+  /// Request journal: one wym-journal/v1 line per answered request.
+  obs::EventLog* journal = nullptr;
+  /// Flight recorder: every answered request is also copied into the
+  /// postmortem ring.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Windowed stats: read (never written) by the stats op, which
+  /// embeds WindowsJson() when non-null. Ticking it is the transport
+  /// loop's job.
+  obs::WindowTracker* windows = nullptr;
 };
 
 class MatcherService {
@@ -137,6 +152,8 @@ class MatcherService {
   struct RequestState {
     Request request;
     Responder responder;
+    /// Admission sequence (mints the journal id "q<seq>").
+    uint64_t sequence = 0;
     uint64_t admit_ns = 0;
     /// Absolute deadline (admit_ns + budget); 0 = none.
     uint64_t deadline_ns = 0;
@@ -144,18 +161,39 @@ class MatcherService {
     /// requests).
     std::atomic<uint64_t> started_ns{0};
     std::atomic<bool> answered{false};
+    /// Telemetry progress, written by the executing worker and read by
+    /// whichever thread answers (worker or watchdog) — atomic so a
+    /// wedge-time journal record sees a consistent partial count.
+    std::atomic<uint64_t> generation{0};
+    std::atomic<uint32_t> batches{0};
+    std::atomic<uint32_t> cached{0};
   };
   using StatePtr = std::shared_ptr<RequestState>;
 
   uint64_t Now() const;
 
-  /// Invokes the responder exactly once; false when someone (the
-  /// watchdog) already answered.
-  bool Respond(const StatePtr& state, const Response& response);
+  /// Invokes the responder exactly once (stamping the minted request
+  /// id into the response); false when someone (the watchdog) already
+  /// answered.
+  bool Respond(const StatePtr& state, Response response);
+
+  /// Fills a journal record for `state` as answered at `end_ns`. Pure
+  /// bookkeeping; no clock reads.
+  obs::RequestRecord BuildRecord(const RequestState& state, uint64_t end_ns,
+                                 obs::RequestOutcome outcome) const;
+
+  /// Appends `record` to the journal and flight recorder (whichever
+  /// are configured). The single emission helper behind every answer
+  /// path.
+  void EmitRecord(const obs::RequestRecord& record);
+
+  /// Journal outcome for an executed (non-shed, non-wedged) response.
+  obs::RequestOutcome ClassifyOutcome(const RequestState& state,
+                                      const Response& response) const;
 
   /// Builds the op-specific response (deadline checks included).
   Response Execute(RequestState* state);
-  Response ExecutePredict(const RequestState& state);
+  Response ExecutePredict(RequestState* state);
   Response ExecuteRegistryOp(const RequestState& state);
   Response ExecuteDebugSleep(const RequestState& state);
 
@@ -165,6 +203,9 @@ class MatcherService {
   const ServiceOptions options_;
   util::ThreadPool* const pool_;
   PredictionCache cache_;
+  /// Admission sequence: every request (inline, queued, or shed) takes
+  /// the next value; the journal id namespace.
+  std::atomic<uint64_t> next_sequence_{1};
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;

@@ -149,8 +149,14 @@ fi
 # robustness contract end to end, over a real Unix socket.
 if [ -n "$SERVE" ]; then
   SOCK="$WORK/wym.sock"
+  # Telemetry rides along: a request journal with a deliberately tiny
+  # rotation bound (1 KB, a handful of lines) and a periodic
+  # wym-telemetry/v1 export.
   "$SERVE" --socket "$SOCK" --model "default=$WORK/model.wym" \
-    --stats-out "$WORK/final-stats.json" > "$WORK/serve.log" 2>&1 &
+    --stats-out "$WORK/final-stats.json" \
+    --journal "$WORK/journal.jsonl" --journal-max-kb 1 \
+    --telemetry-out "$WORK/telemetry.json" --telemetry-period 1 \
+    > "$WORK/serve.log" 2>&1 &
   # The binary is backgrounded directly (no subshell wrapper), so $! is
   # the server's own PID — the one SIGTERM must reach for a clean drain.
   SERVE_PID=$!
@@ -194,8 +200,19 @@ if [ -n "$SERVE" ]; then
     --left 'canon eos|8mp' --right 'canon eos 350d|8mp' \
     | grep -q "prediction"
 
-  # Stats exposes the overload-policy state.
-  "$CLI" query --socket "$SOCK" --op stats | grep -q '"queue_bound"'
+  # Stats exposes the overload-policy state plus the telemetry sections
+  # (windows/journal/recorder appear only when the sinks are configured;
+  # this server runs with a journal and telemetry export, no recorder).
+  "$CLI" query --socket "$SOCK" --op stats > "$WORK/stats.json"
+  grep -q '"queue_bound"' "$WORK/stats.json"
+  grep -q '"windows"' "$WORK/stats.json"
+  grep -q '"journal"' "$WORK/stats.json"
+
+  # Live observability over the running server: top renders windowed
+  # rates, tail prints the newest journal lines.
+  "$CLI" top --socket "$SOCK" | grep -q "qps"
+  "$CLI" tail --file "$WORK/journal.jsonl" --lines 3 \
+    | grep -q '"schema":"wym-journal/v1"'
 
   # SIGTERM: graceful drain — exit 0 and the final stats snapshot
   # flushed to --stats-out with the drained state recorded.
@@ -210,6 +227,74 @@ if [ -n "$SERVE" ]; then
     exit 1
   fi
   grep -q '"draining":true' "$WORK/final-stats.json"
+
+  # The session answered enough requests to cross the 1 KB journal
+  # bound at least once, so both the active file and the rotated .1
+  # file must exist and validate as wym-journal/v1; the drain also
+  # flushed a final wym-telemetry/v1 export.
+  "$CLI" validate-report --file "$WORK/journal.jsonl" \
+    | grep -q "request journal"
+  test -s "$WORK/journal.jsonl.1"
+  "$CLI" validate-report --file "$WORK/journal.jsonl.1" > /dev/null
+  "$CLI" validate-report --file "$WORK/telemetry.json" \
+    | grep -q "valid telemetry"
+
+  # -------------------------------------------------------------------
+  # Watchdog + flight recorder: a second short-lived server with debug
+  # ops enabled. A debug_sleep request wedges a worker past the
+  # watchdog bound; the watchdog answers it (deadline exceeded -> CLI
+  # exit 2) and dumps the flight-recorder ring as a postmortem that
+  # records the wedged request.
+  SOCK2="$WORK/wym2.sock"
+  "$SERVE" --socket "$SOCK2" --model "default=$WORK/model.wym" \
+    --enable-debug-ops --watchdog-ms 100 --watchdog-interval-ms 50 \
+    --recorder 16 --recorder-out "$WORK/postmortem.json" \
+    > "$WORK/serve2.log" 2>&1 &
+  SERVE2_PID=$!
+  ready=0
+  for _ in 1 2 3 4 5 6 7 8 9 10; do
+    if "$CLI" query --socket "$SOCK2" --op ping > /dev/null 2>&1; then
+      ready=1
+      break
+    fi
+    sleep 1
+  done
+  if [ "$ready" -ne 1 ]; then
+    echo "wym_serve (watchdog scenario) never became ready" >&2
+    cat "$WORK/serve2.log" >&2
+    exit 1
+  fi
+  expect_exit 2 "$CLI" query --socket "$SOCK2" --op debug_sleep \
+    --sleep-ms 5000 --retries 0 --timeout-ms 10000
+  # The dump happens on the watchdog thread right after the answer, so
+  # give the file a moment to land.
+  dumped=0
+  for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    if [ -s "$WORK/postmortem.json" ]; then
+      dumped=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [ "$dumped" -ne 1 ]; then
+    echo "watchdog never dumped the flight recorder" >&2
+    cat "$WORK/serve2.log" >&2
+    exit 1
+  fi
+  grep -q '"outcome":"wedged"' "$WORK/postmortem.json"
+  grep -q '"reason":"watchdog"' "$WORK/postmortem.json"
+  "$CLI" validate-report --file "$WORK/postmortem.json" \
+    | grep -q "flight-recorder dump"
+  kill -TERM "$SERVE2_PID"
+  set +e
+  wait "$SERVE2_PID"
+  serve2_status=$?
+  set -e
+  if [ "$serve2_status" -ne 0 ]; then
+    echo "wym_serve (watchdog scenario) exited $serve2_status" >&2
+    cat "$WORK/serve2.log" >&2
+    exit 1
+  fi
 fi
 
 echo "cli smoke OK"

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,10 +15,13 @@
 #include "core/wym.h"
 #include "data/benchmark_gen.h"
 #include "data/split.h"
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -447,6 +451,288 @@ TEST(PipelineCountersTest, FitAndPredictPopulateCounters) {
   // The batch path also records per-record latencies.
   EXPECT_GE(registry.GetHistogram("predict.record_ns").Snapshot().count,
             split.test.size());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: percentile edge cases, histogram deltas, request journal,
+// flight recorder, windowed stats.
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  // Empty snapshots answer 0 for any p, including NaN.
+  const obs::HistogramSnapshot empty;
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_EQ(empty.Percentile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+
+  // All mass in one bucket: value 100 lives in [64, 127]. p sweeps the
+  // bucket linearly, and out-of-range p clamps to the edges instead of
+  // extrapolating.
+  obs::HistogramSnapshot single;
+  single.buckets.assign(40, 0);
+  single.buckets[6] = 100;  // [64, 127]
+  single.count = 100;
+  EXPECT_DOUBLE_EQ(single.Percentile(0.0), 64.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(-1.0), 64.0);
+  EXPECT_DOUBLE_EQ(
+      single.Percentile(std::numeric_limits<double>::quiet_NaN()), 64.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(0.5), 64.0 + 0.5 * (127.0 - 64.0));
+  EXPECT_DOUBLE_EQ(single.Percentile(1.0), 127.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(2.0), 127.0);
+
+  // A count larger than the bucket mass (possible only in hand-built
+  // snapshots, but the rounding fallthrough it exercises is real) must
+  // clamp to the last *non-empty* bucket, not the array's last bucket.
+  obs::HistogramSnapshot overrun;
+  overrun.buckets.assign(40, 0);
+  overrun.buckets[3] = 5;  // [8, 15]
+  overrun.count = 10;
+  EXPECT_DOUBLE_EQ(overrun.Percentile(1.0), 15.0);
+}
+
+TEST(HistogramTest, DeltaSinceSubtractsBucketwise) {
+  obs::Histogram& hist =
+      obs::Registry::Global().GetHistogram("test.delta_since");
+  hist.Reset();
+  for (int i = 0; i < 10; ++i) hist.Record(100);
+  const obs::HistogramSnapshot base = hist.Snapshot();
+  for (int i = 0; i < 90; ++i) hist.Record(100);
+  for (int i = 0; i < 5; ++i) hist.Record(100000);
+
+  const obs::HistogramSnapshot delta = hist.Snapshot().DeltaSince(base);
+  EXPECT_EQ(delta.count, 95u);
+  EXPECT_EQ(delta.sum, 90u * 100u + 5u * 100000u);
+  // The delta's percentiles see only the post-base samples.
+  EXPECT_GE(delta.Percentile(0.99), 65536.0);
+
+  // A base "ahead" of the snapshot (counter reset between samples)
+  // saturates to zero instead of wrapping.
+  const obs::HistogramSnapshot inverted = base.DeltaSince(hist.Snapshot());
+  EXPECT_EQ(inverted.count, 0u);
+  EXPECT_EQ(inverted.sum, 0u);
+}
+
+TEST(EventLogTest, SetRecordFieldSanitizesAndTruncates) {
+  char field[8];
+  obs::SetRecordField(field, sizeof(field), "a\"b\\c\nd");
+  EXPECT_STREQ(field, "a_b_c_d");
+  obs::SetRecordField(field, sizeof(field), "0123456789");
+  EXPECT_STREQ(field, "0123456");  // cap-1 chars + NUL.
+  obs::SetRecordField(field, sizeof(field), "");
+  EXPECT_STREQ(field, "");
+}
+
+obs::RequestRecord MakeRecord(std::uint64_t sequence) {
+  obs::RequestRecord record;
+  record.sequence = sequence;
+  obs::SetRecordField(record.client_id, sizeof(record.client_id), "cli");
+  obs::SetRecordField(record.op, sizeof(record.op), "predict");
+  obs::SetRecordField(record.model, sizeof(record.model), "default#1");
+  record.admit_ns = 1000;
+  record.queue_ns = 10;
+  record.run_ns = 20;
+  record.total_ns = 30;
+  record.pairs = 2;
+  record.batches = 1;
+  record.cached = 1;
+  return record;
+}
+
+TEST(EventLogTest, RenderRequestRecordHasFixedKeyOrder) {
+  char buf[obs::kMaxJournalLine];
+  const std::size_t n =
+      obs::RenderRequestRecord(MakeRecord(42), buf, sizeof(buf));
+  const std::string line(buf, n);
+  EXPECT_EQ(line,
+            "{\"schema\":\"wym-journal/v1\",\"seq\":42,\"id\":\"q00000042\","
+            "\"client_id\":\"cli\",\"op\":\"predict\",\"model\":\"default#1\""
+            ",\"outcome\":\"ok\",\"admit_ns\":1000,\"queue_ns\":10,"
+            "\"run_ns\":20,\"total_ns\":30,\"pairs\":2,\"batches\":1,"
+            "\"cached\":1}");
+
+  char id[obs::RequestRecord::kIdBytes];
+  EXPECT_STREQ(obs::RenderRequestId(7, id, sizeof(id)), "q00000007");
+
+  // The rendered line passes its own validator.
+  std::string error;
+  EXPECT_TRUE(obs::ValidateJournalJson(line + "\n", &error)) << error;
+}
+
+TEST(EventLogTest, ValidateJournalJsonRejectsBadJournals) {
+  std::string error;
+  EXPECT_FALSE(obs::ValidateJournalJson("", &error));  // No records.
+  EXPECT_FALSE(obs::ValidateJournalJson("not json\n", &error));
+  EXPECT_FALSE(obs::ValidateJournalJson("{\"schema\":\"other\"}\n", &error));
+
+  char buf[obs::kMaxJournalLine];
+  std::size_t n = obs::RenderRequestRecord(MakeRecord(1), buf, sizeof(buf));
+  const std::string line(buf, n);
+  // Duplicate seq across lines is the corruption the validator exists
+  // to catch; distinct seqs in any order are fine.
+  EXPECT_FALSE(obs::ValidateJournalJson(line + "\n" + line + "\n", &error));
+  n = obs::RenderRequestRecord(MakeRecord(2), buf, sizeof(buf));
+  const std::string other(buf, n);
+  EXPECT_TRUE(obs::ValidateJournalJson(other + "\n" + line + "\n", &error))
+      << error;
+}
+
+TEST(EventLogTest, AppendsRotatesAndCounts) {
+  const std::string path = "/tmp/wym_event_log_test.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+
+  // Each rendered line is ~200 bytes; a 600-byte bound forces a
+  // rotation every few appends.
+  obs::EventLog::Options options;
+  options.path = path;
+  options.max_bytes = 600;
+  obs::EventLog journal(options);
+  std::string error;
+  ASSERT_TRUE(journal.Open(&error)) << error;
+  for (std::uint64_t seq = 1; seq <= 8; ++seq) {
+    journal.Append(MakeRecord(seq));
+  }
+  EXPECT_EQ(journal.lines_written(), 8u);
+  EXPECT_GE(journal.rotations(), 1u);
+  journal.Close();
+
+  // Both the active file and the rotation slot hold valid journals, and
+  // the active file respects the size bound.
+  for (const std::string& file : {path, path + ".1"}) {
+    std::ifstream in(file, std::ios::binary);
+    ASSERT_TRUE(in.good()) << file;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_TRUE(obs::ValidateJournalJson(buffer.str(), &error))
+        << file << ": " << error;
+    EXPECT_LE(buffer.str().size(), 600u) << file;
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(FlightRecorderTest, RingKeepsLastNInOrder) {
+  obs::FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_TRUE(recorder.SnapshotOrdered().empty());
+
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    recorder.Record(MakeRecord(seq));
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  const std::vector<obs::RequestRecord> snapshot =
+      recorder.SnapshotOrdered();
+  ASSERT_EQ(snapshot.size(), 4u);  // Only the last `capacity` survive.
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(snapshot[i].sequence, 7u + i);  // Oldest first: 7, 8, 9, 10.
+  }
+}
+
+TEST(FlightRecorderTest, DumpJsonValidatesAndSanitizesReason) {
+  obs::FlightRecorder recorder(8);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    recorder.Record(MakeRecord(seq));
+  }
+  const std::string dump = recorder.DumpJson("watchdog");
+  std::string error;
+  EXPECT_TRUE(obs::ValidateFlightRecorderJson(dump, &error)) << error;
+  EXPECT_NE(dump.find("\"reason\":\"watchdog\""), std::string::npos);
+  EXPECT_NE(dump.find("\"recorded\":3"), std::string::npos);
+
+  // A hostile reason cannot break the JSON: quotes become '_'.
+  const std::string hostile = recorder.DumpJson("a\"b");
+  EXPECT_TRUE(obs::ValidateFlightRecorderJson(hostile, &error)) << error;
+
+  // An empty recorder still dumps a valid artifact.
+  obs::FlightRecorder idle(2);
+  EXPECT_TRUE(obs::ValidateFlightRecorderJson(idle.DumpJson("drain"), &error))
+      << error;
+
+  EXPECT_FALSE(obs::ValidateFlightRecorderJson("{}", &error));
+  EXPECT_FALSE(obs::ValidateFlightRecorderJson("nope", &error));
+}
+
+/// Scratch-metric options so window tests never race the serving
+/// counters other tests touch.
+obs::WindowTracker::Options ScratchWindowOptions(const std::string& prefix) {
+  obs::WindowTracker::Options options;
+  options.requests_metric = prefix + ".requests";
+  options.shed_metric = prefix + ".shed";
+  options.cache_hits_metric = prefix + ".hits";
+  options.cache_misses_metric = prefix + ".misses";
+  options.latency_metric = prefix + ".latency";
+  options.window_ns = {10ull * 1000 * 1000 * 1000};
+  return options;
+}
+
+TEST(WindowTrackerTest, DeltaReportsRatesOverTheWindow) {
+  const std::string prefix = "test.window_rates";
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter& requests = registry.GetCounter(prefix + ".requests");
+  obs::Counter& shed = registry.GetCounter(prefix + ".shed");
+  obs::Counter& hits = registry.GetCounter(prefix + ".hits");
+  obs::Counter& misses = registry.GetCounter(prefix + ".misses");
+  obs::Histogram& latency = registry.GetHistogram(prefix + ".latency");
+  requests.Reset();
+  shed.Reset();
+  hits.Reset();
+  misses.Reset();
+  latency.Reset();
+
+  obs::WindowTracker tracker(ScratchWindowOptions(prefix));
+  EXPECT_EQ(tracker.Delta(10ull * 1000 * 1000 * 1000).requests, 0u);
+
+  tracker.Tick(0);
+  requests.Add(100);
+  shed.Add(10);
+  hits.Add(30);
+  misses.Add(70);
+  for (int i = 0; i < 100; ++i) latency.Record(1000);
+  tracker.Tick(10ull * 1000 * 1000 * 1000);  // +10s.
+
+  const obs::WindowStats stats =
+      tracker.Delta(10ull * 1000 * 1000 * 1000);
+  EXPECT_EQ(stats.window_ns, 10ull * 1000 * 1000 * 1000);
+  EXPECT_EQ(stats.requests, 100u);
+  EXPECT_DOUBLE_EQ(stats.qps, 10.0);
+  EXPECT_EQ(stats.shed, 10u);
+  EXPECT_DOUBLE_EQ(stats.shed_rate, 0.1);
+  EXPECT_DOUBLE_EQ(stats.cache_hit_rate, 0.3);
+  // 1000 lives in [512, 1023]: every percentile is inside that bucket.
+  EXPECT_GE(stats.p50_ns, 512.0);
+  EXPECT_LE(stats.p99_ns, 1023.0);
+  EXPECT_EQ(tracker.samples(), 2u);
+}
+
+TEST(WindowTrackerTest, TelemetryJsonValidatesAndIsClockFree) {
+  const std::string prefix = "test.window_json";
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter(prefix + ".requests").Reset();
+  registry.GetHistogram(prefix + ".latency").Reset();
+
+  obs::WindowTracker tracker(ScratchWindowOptions(prefix));
+  tracker.Tick(1000);
+  registry.GetCounter(prefix + ".requests").Add(5);
+  tracker.Tick(2000);
+
+  const std::string telemetry = tracker.TelemetryJson();
+  std::string error;
+  EXPECT_TRUE(obs::ValidateTelemetryJson(telemetry, &error))
+      << error << "\n" << telemetry;
+  // now_ns is the injected stamp of the newest sample — no wall clock.
+  EXPECT_NE(telemetry.find("\"now_ns\":2000"), std::string::npos);
+
+  // Same ticks, same counter trajectory => byte-identical artifact.
+  registry.GetCounter(prefix + ".requests").Reset();
+  obs::WindowTracker replay(ScratchWindowOptions(prefix));
+  replay.Tick(1000);
+  registry.GetCounter(prefix + ".requests").Add(5);
+  replay.Tick(2000);
+  EXPECT_EQ(replay.TelemetryJson(), telemetry);
+
+  EXPECT_FALSE(obs::ValidateTelemetryJson("{}", &error));
+  EXPECT_FALSE(obs::ValidateTelemetryJson(
+      "{\"schema\":\"wym-telemetry/v1\",\"now_ns\":1,\"samples\":2,"
+      "\"windows\":{}}",
+      &error));  // Empty windows object.
 }
 
 }  // namespace

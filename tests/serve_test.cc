@@ -28,6 +28,10 @@
 #include "core/wym.h"
 #include "data/benchmark_gen.h"
 #include "data/split.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/window.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_cache.h"
 #include "serve/protocol.h"
@@ -35,6 +39,7 @@
 #include "serve/service.h"
 #include "serve/socket_io.h"
 #include "util/io.h"
+#include "util/thread_pool.h"
 #include "util/status.h"
 
 namespace wym {
@@ -699,6 +704,262 @@ TEST_F(ServiceTest, StatsJsonExposesQueueCacheAndModels) {
   EXPECT_NE(stats.find("\"models\":[\"default\"]"), std::string::npos);
   EXPECT_NE(stats.find("\"cache\""), std::string::npos);
   EXPECT_NE(stats.find("\"metrics\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Serving telemetry: minted request ids, journal, flight recorder,
+// windowed stats
+
+TEST_F(ServiceTest, MintedRequestIdsAreUniquePerAdmission) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadModel("default", suite_->model_path).ok());
+  ServiceOptions options;
+  options.auto_dispatch = false;
+  MatcherService service(&registry, options);
+
+  // A client retry reuses its correlation id; each admission still
+  // mints a fresh request id, so the two attempts are tellable apart.
+  ResponseLog log;
+  Request retry;
+  retry.op = Request::Op::kPing;
+  retry.id = "client-7";
+  ASSERT_TRUE(service.Admit(retry, log.Sink()).ok());
+  ASSERT_TRUE(service.Admit(retry, log.Sink()).ok());
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.responses[0].id, "client-7");
+  EXPECT_EQ(log.responses[1].id, "client-7");
+  EXPECT_EQ(log.responses[0].request_id, "q00000001");
+  EXPECT_EQ(log.responses[1].request_id, "q00000002");
+
+  // The minted id crosses the wire as "req" and round-trips.
+  const std::string rendered = serve::RenderResponse(log.responses[1]);
+  EXPECT_NE(rendered.find("\"req\":\"q00000002\""), std::string::npos)
+      << rendered;
+  Result<Response> parsed = serve::ParseResponse(rendered);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().request_id, "q00000002");
+}
+
+TEST_F(ServiceTest, JournalBytesAreIdenticalAcrossThreadCounts) {
+  const std::string prefix = testing::TempDir() + "/wym_journal_det." +
+                             std::to_string(::getpid());
+  // One sequential serving session: two queued predicts, one shed
+  // (bound 2), the backlog, then a repeat pair that hits the cache.
+  // With the injected counting clock every timestamp is a function of
+  // the Now() call sequence alone, so the journal bytes must not
+  // depend on the worker pool width.
+  auto run = [&](size_t threads, const std::string& path,
+                 std::string* bytes) {
+    util::ThreadPool pool(threads);
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.LoadModel("default", suite_->model_path).ok());
+    obs::EventLog::Options journal_options;
+    journal_options.path = path;
+    obs::EventLog journal(journal_options);
+    std::string error;
+    ASSERT_TRUE(journal.Open(&error)) << error;
+
+    uint64_t fake_now = 0;
+    ServiceOptions options;
+    options.auto_dispatch = false;
+    options.queue_bound = 2;
+    options.now_ns = [&fake_now] { return fake_now += 1000; };
+    options.journal = &journal;
+    MatcherService service(&registry, options, &pool);
+
+    ResponseLog log;
+    ASSERT_TRUE(service.Admit(PredictRequest(0, "a"), log.Sink()).ok());
+    ASSERT_TRUE(service.Admit(PredictRequest(1, "b"), log.Sink()).ok());
+    EXPECT_EQ(service.Admit(PredictRequest(2, "c"), log.Sink()).code(),
+              Status::Code::kResourceExhausted);
+    EXPECT_EQ(service.ProcessQueued(), 2u);
+    ASSERT_TRUE(service.Admit(PredictRequest(0, "a2"), log.Sink()).ok());
+    EXPECT_EQ(service.ProcessQueued(), 1u);
+    journal.Close();
+    ASSERT_TRUE(io::ReadFileToString(path, bytes).ok());
+    std::string journal_error;
+    EXPECT_TRUE(obs::ValidateJournalJson(*bytes, &journal_error))
+        << journal_error;
+  };
+
+  std::string one, eight;
+  run(1, prefix + ".1.jsonl", &one);
+  run(8, prefix + ".8.jsonl", &eight);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, eight);
+  // The shed and the cache hit both made it into the journal.
+  EXPECT_NE(one.find("\"outcome\":\"shed\""), std::string::npos) << one;
+  EXPECT_NE(one.find("\"outcome\":\"cache_hit\""), std::string::npos) << one;
+  std::remove((prefix + ".1.jsonl").c_str());
+  std::remove((prefix + ".8.jsonl").c_str());
+}
+
+TEST_F(ServiceTest, JournalRotatesAtSizeBoundWhileServing) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadModel("default", suite_->model_path).ok());
+  const std::string path = testing::TempDir() + "/wym_journal_rotate." +
+                           std::to_string(::getpid()) + ".jsonl";
+  obs::EventLog::Options journal_options;
+  journal_options.path = path;
+  journal_options.max_bytes = 512;  // A few ping lines per file.
+  obs::EventLog journal(journal_options);
+  std::string error;
+  ASSERT_TRUE(journal.Open(&error)) << error;
+
+  ServiceOptions options;
+  options.auto_dispatch = false;
+  options.journal = &journal;
+  MatcherService service(&registry, options);
+
+  ResponseLog log;
+  for (int i = 0; i < 10; ++i) {
+    Request ping;
+    ping.op = Request::Op::kPing;
+    ping.id = "p" + std::to_string(i);
+    ASSERT_TRUE(service.Admit(ping, log.Sink()).ok());
+  }
+  EXPECT_EQ(journal.lines_written(), 10u);
+  EXPECT_GE(journal.rotations(), 1u);
+  journal.Close();
+
+  // Both the active file and the rotation slot are valid journals and
+  // honor the size bound.
+  for (const std::string& file : {path, path + ".1"}) {
+    std::string bytes;
+    ASSERT_TRUE(io::ReadFileToString(file, &bytes).ok()) << file;
+    EXPECT_TRUE(obs::ValidateJournalJson(bytes, &error))
+        << file << ": " << error;
+    EXPECT_LE(bytes.size(), 512u) << file;
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST_F(ServiceTest, WatchdogRecoveryLandsWedgedRecordInFlightRecorder) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadModel("default", suite_->model_path).ok());
+  obs::FlightRecorder recorder(16);
+  ServiceOptions options;
+  options.auto_dispatch = false;
+  options.enable_debug_ops = true;
+  options.wedge_timeout_ms = 20;
+  options.recorder = &recorder;
+  MatcherService service(&registry, options);
+
+  ResponseLog log;
+  Request wedge;
+  wedge.op = Request::Op::kDebugSleep;
+  wedge.id = "stuck-client";
+  wedge.sleep_ms = 60000;
+  ASSERT_TRUE(service.Admit(wedge, log.Sink()).ok());
+  std::thread worker([&service] { service.ProcessOne(); });
+
+  size_t recovered = 0;
+  for (int spin = 0; spin < 5000 && recovered == 0; ++spin) {
+    recovered = service.PokeWatchdog(UINT64_C(1) << 62);
+    if (recovered == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(recovered, 1u);
+  worker.join();
+
+  // The postmortem artifact is valid and holds the wedged request —
+  // the incident is diagnosable from the dump alone.
+  const std::string dump = recorder.DumpJson("watchdog");
+  std::string error;
+  EXPECT_TRUE(obs::ValidateFlightRecorderJson(dump, &error)) << error;
+  EXPECT_NE(dump.find("\"client_id\":\"stuck-client\""), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("\"outcome\":\"wedged\""), std::string::npos);
+  EXPECT_NE(dump.find("\"reason\":\"watchdog\""), std::string::npos);
+  // The released worker's late answer lost the race: nothing after the
+  // wedged record.
+  EXPECT_EQ(recorder.recorded(), 1u);
+}
+
+TEST_F(ServiceTest, WindowPercentilesMatchOfflineRecomputation) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadModel("default", suite_->model_path).ok());
+  obs::WindowTracker windows;  // Default serving metric names.
+  uint64_t fake_now = 0;
+  ServiceOptions options;
+  options.auto_dispatch = false;
+  options.cache_entries = 0;
+  options.now_ns = [&fake_now] { return fake_now += 1000; };
+  options.windows = &windows;
+  MatcherService service(&registry, options);
+
+  const obs::HistogramSnapshot before =
+      obs::Registry::Global().GetHistogram("serve.request_ns").Snapshot();
+  windows.Tick(0);
+  ResponseLog log;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        service.Admit(PredictRequest(i, "w" + std::to_string(i)), log.Sink())
+            .ok());
+    EXPECT_EQ(service.ProcessQueued(), 1u);
+  }
+  windows.Tick(10ull * 1000 * 1000 * 1000);
+
+  // The window's percentiles must equal an offline recomputation from
+  // raw histogram deltas over the same span.
+  const obs::WindowStats stats = windows.Delta(10ull * 1000 * 1000 * 1000);
+  const obs::HistogramSnapshot offline =
+      obs::Registry::Global()
+          .GetHistogram("serve.request_ns")
+          .Snapshot()
+          .DeltaSince(before);
+  EXPECT_EQ(offline.count, 8u);
+  EXPECT_DOUBLE_EQ(stats.p50_ns, offline.Percentile(0.50));
+  EXPECT_DOUBLE_EQ(stats.p95_ns, offline.Percentile(0.95));
+  EXPECT_DOUBLE_EQ(stats.p99_ns, offline.Percentile(0.99));
+  // The counting clock makes every request cost exactly 2000ns (three
+  // Now() reads), pinning the percentiles into bucket [1024, 2047].
+  EXPECT_GE(stats.p99_ns, 1024.0);
+  EXPECT_LE(stats.p99_ns, 2047.0);
+}
+
+TEST_F(ServiceTest, StatsJsonExposesTelemetrySectionsOnlyWhenConfigured) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadModel("default", suite_->model_path).ok());
+  ServiceOptions off;
+  off.auto_dispatch = false;
+  MatcherService plain(&registry, off);
+  const std::string without = plain.StatsJson();
+  EXPECT_EQ(without.find("\"windows\""), std::string::npos);
+  EXPECT_EQ(without.find("\"journal\""), std::string::npos);
+  EXPECT_EQ(without.find("\"recorder\""), std::string::npos);
+
+  const std::string path = testing::TempDir() + "/wym_stats_journal." +
+                           std::to_string(::getpid()) + ".jsonl";
+  obs::EventLog::Options journal_options;
+  journal_options.path = path;
+  obs::EventLog journal(journal_options);
+  std::string error;
+  ASSERT_TRUE(journal.Open(&error)) << error;
+  obs::FlightRecorder recorder(4);
+  obs::WindowTracker windows;
+  ServiceOptions on;
+  on.auto_dispatch = false;
+  on.journal = &journal;
+  on.recorder = &recorder;
+  on.windows = &windows;
+  MatcherService service(&registry, on);
+
+  ResponseLog log;
+  Request ping;
+  ping.op = Request::Op::kPing;
+  ping.id = "s";
+  ASSERT_TRUE(service.Admit(ping, log.Sink()).ok());
+  const std::string stats = service.StatsJson();
+  EXPECT_NE(stats.find("\"windows\":{"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"journal\":{\"path\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"lines\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"recorder\":{\"capacity\":4,\"recorded\":1}"),
+            std::string::npos);
+  journal.Close();
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------

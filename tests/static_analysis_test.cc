@@ -448,6 +448,21 @@ TEST(TaintTest, ServeRenderFunctionsAreSinks) {
   EXPECT_FALSE(IsTaintSink(def, "src/serve/service.cc"));
 }
 
+TEST(TaintTest, ObsRenderAndDumpFunctionsAreSinks) {
+  // Telemetry serializers join the same promise: journal lines,
+  // flight-recorder dumps, and telemetry exports must be pure
+  // functions of the values they serialize, so Render*/Dump* in
+  // src/obs are sinks — but only there, and only those prefixes.
+  FunctionDef def;
+  def.qualified_name = "wym::obs::RenderRequestRecord";
+  EXPECT_TRUE(IsTaintSink(def, "src/obs/event_log.cc"));
+  EXPECT_FALSE(IsTaintSink(def, "src/data/csv.cc"));
+  def.qualified_name = "wym::obs::FlightRecorder::DumpJson";
+  EXPECT_TRUE(IsTaintSink(def, "src/obs/recorder.cc"));
+  def.qualified_name = "wym::obs::WindowTracker::Tick";
+  EXPECT_FALSE(IsTaintSink(def, "src/obs/window.cc"));
+}
+
 TEST(TaintTest, ClockSeedReachingServeRenderPathIsAFinding) {
   // A clock read leaking into the response-serialization path must be
   // flagged: the wire bytes would no longer be a pure function of the

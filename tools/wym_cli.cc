@@ -17,8 +17,10 @@
 //   wym_cli verify    --model model.wym
 //                     # check the file's frames/CRCs without loading it
 //   wym_cli validate-report --file BENCH_micro.json
-//                     # schema-check a --json perf report or a WYM_TRACE
-//                     # trace file (auto-detected by content)
+//                     # schema-check a machine-readable artifact: bench
+//                     # report, WYM_TRACE trace, wym-telemetry/v1,
+//                     # wym-flight-recorder/v1, or a wym-journal/v1
+//                     # request journal (auto-detected by content)
 //   wym_cli compare-reports <baseline.json> <current.json>
 //                     [--tolerance 0.10]
 //                     # compare two bench reports benchmark-by-benchmark
@@ -32,6 +34,16 @@
 //                     # with capped exponential backoff, but only on
 //                     # connect failure or ResourceExhausted shed —
 //                     # application errors are answered, not retried
+//   wym_cli top       --socket /tmp/wym.sock [--count 1]
+//                     [--interval-ms 1000] [--timeout-ms 5000]
+//                     # live windowed serving stats (qps, shed rate,
+//                     # cache hit rate, p50/p95/p99) from the stats op;
+//                     # repeats --count times at --interval-ms
+//   wym_cli tail      --file req.jsonl [--lines 10] [--follow]
+//                     [--for-ms 0]
+//                     # print the last N request-journal lines;
+//                     # --follow keeps polling for appended records
+//                     # (--for-ms bounds how long, 0 = until SIGINT)
 //   wym_cli list      # available benchmark dataset ids
 //
 // train-eval / explain apply the paper's 60-20-20 split internally.
@@ -60,8 +72,10 @@
 #include "explain/global.h"
 #include "explain/report.h"
 #include "ml/metrics.h"
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/report.h"
 #include "serve/protocol.h"
 #include "serve/socket_io.h"
@@ -142,7 +156,8 @@ class Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: wym_cli <generate|train-eval|explain|stats|profile|"
-               "verify|validate-report|compare-reports|query|list> [flags]\n"
+               "verify|validate-report|compare-reports|query|top|tail|list>"
+               " [flags]\n"
                "see the header of tools/wym_cli.cc for the flag list\n");
   return kExitUsage;
 }
@@ -311,10 +326,12 @@ int CmdVerify(const Args& args) {
   return kExitOk;
 }
 
-/// `validate-report`: schema-check a machine-readable perf artifact.
-/// Trace files (WYM_TRACE output, Chrome trace_event JSON) are told
-/// apart from bench reports (wym-bench-report/v1) by content. Exit 0 =
-/// valid, 3 = structurally invalid, 2 = unreadable.
+/// `validate-report`: schema-check a machine-readable artifact. The
+/// kind is auto-detected by content: trace files by their
+/// "traceEvents" array, telemetry / flight-recorder / journal files by
+/// their schema tags, everything else validates as a bench report.
+/// Exit 0 = valid, 3 = structurally invalid, 2 = unreadable — the same
+/// contract for every kind.
 int CmdValidateReport(const Args& args) {
   const std::string path = args.Get("file");
   if (path.empty()) {
@@ -330,18 +347,31 @@ int CmdValidateReport(const Args& args) {
   buffer << in.rdbuf();
   const std::string text = buffer.str();
 
-  const bool is_trace = text.find("\"traceEvents\"") != std::string::npos;
+  const char* kind = "bench report (wym-bench-report/v1)";
   std::string error;
-  const bool valid = is_trace ? obs::ValidateTraceJson(text, &error)
-                              : obs::ValidateBenchReportJson(text, &error);
+  bool valid = false;
+  if (text.find("\"traceEvents\"") != std::string::npos) {
+    kind = "trace (trace_event JSON)";
+    valid = obs::ValidateTraceJson(text, &error);
+  } else if (text.find("\"wym-telemetry/v1\"") != std::string::npos) {
+    kind = "telemetry (wym-telemetry/v1)";
+    valid = obs::ValidateTelemetryJson(text, &error);
+  } else if (text.find("\"wym-flight-recorder/v1\"") != std::string::npos) {
+    kind = "flight-recorder dump (wym-flight-recorder/v1)";
+    valid = obs::ValidateFlightRecorderJson(text, &error);
+  } else if (text.substr(0, text.find('\n'))
+                 .find("\"schema\":\"wym-journal/v1\"") != std::string::npos) {
+    kind = "request journal (wym-journal/v1)";
+    valid = obs::ValidateJournalJson(text, &error);
+  } else {
+    valid = obs::ValidateBenchReportJson(text, &error);
+  }
   if (!valid) {
-    std::fprintf(stderr, "%s: invalid %s: %s\n", path.c_str(),
-                 is_trace ? "trace" : "bench report", error.c_str());
+    std::fprintf(stderr, "%s: invalid %s: %s\n", path.c_str(), kind,
+                 error.c_str());
     return kExitCorruption;
   }
-  std::printf("%s: valid %s\n", path.c_str(),
-              is_trace ? "trace (trace_event JSON)"
-                       : "bench report (wym-bench-report/v1)");
+  std::printf("%s: valid %s\n", path.c_str(), kind);
   return kExitOk;
 }
 
@@ -527,6 +557,8 @@ int CmdQuery(const Args& args) {
     request.op = serve::Request::Op::kRetireModel;
   } else if (op == "shutdown") {
     request.op = serve::Request::Op::kShutdown;
+  } else if (op == "debug_sleep") {
+    request.op = serve::Request::Op::kDebugSleep;
   } else {
     std::fprintf(stderr, "unknown --op '%s'\n", op.c_str());
     return kExitUsage;
@@ -538,6 +570,8 @@ int CmdQuery(const Args& args) {
       std::strtoull(args.Get("deadline-ms", "0").c_str(), nullptr, 10));
   request.name = args.Get("name");
   request.path = args.Get("path");
+  request.sleep_ms = static_cast<uint64_t>(
+      std::strtoull(args.Get("sleep-ms", "0").c_str(), nullptr, 10));
   if (request.op == serve::Request::Op::kPredict) {
     if (!args.Has("left") || !args.Has("right")) {
       std::fprintf(stderr, "predict needs --left 'a|b' and --right 'a|b'\n");
@@ -599,6 +633,159 @@ int CmdQuery(const Args& args) {
   return StatusExit(response.status);
 }
 
+/// Numeric field lookup in a parsed stats/window object; absent or
+/// non-numeric members read as `fallback` so `top` degrades instead of
+/// crashing when pointed at an older server.
+double NumberField(const obs::JsonValue& object, const char* key,
+                   double fallback) {
+  const obs::JsonValue* value = object.Find(key);
+  return (value != nullptr && value->IsNumber()) ? value->number : fallback;
+}
+
+/// `top`: human-oriented live view of a running wym_serve, built
+/// entirely on the public stats op — one line of queue/cache state plus
+/// one line per telemetry window. Repeats --count times so an operator
+/// can watch a deploy settle without a watch(1) wrapper.
+int CmdTop(const Args& args) {
+  const std::string socket_path = args.Get("socket");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "--socket <path> is required\n");
+    return kExitUsage;
+  }
+  const int count = static_cast<int>(
+      std::strtoul(args.Get("count", "1").c_str(), nullptr, 10));
+  const int interval_ms = static_cast<int>(
+      std::strtoul(args.Get("interval-ms", "1000").c_str(), nullptr, 10));
+  const int timeout_ms = static_cast<int>(
+      std::strtoul(args.Get("timeout-ms", "5000").c_str(), nullptr, 10));
+
+  serve::Request request;
+  request.op = serve::Request::Op::kStats;
+  request.id = args.Get("id", "top");
+
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) SleepMs(interval_ms);
+    serve::Response response;
+    const Status queried =
+        QueryOnce(socket_path, request, timeout_ms, &response);
+    if (!queried.ok()) {
+      std::fprintf(stderr, "top: %s\n", queried.ToString().c_str());
+      return kExitIo;
+    }
+    if (!response.status.ok()) return StatusExit(response.status);
+
+    obs::JsonValue stats;
+    std::string error;
+    if (!obs::ParseJson(response.payload_json, &stats, &error)) {
+      std::fprintf(stderr, "top: malformed stats payload: %s\n",
+                   error.c_str());
+      return kExitCorruption;
+    }
+    const obs::JsonValue* draining = stats.Find("draining");
+    std::printf("queue %zu/%zu  in_flight %zu  cache %zu/%zu%s\n",
+                static_cast<size_t>(NumberField(stats, "queue_depth", 0)),
+                static_cast<size_t>(NumberField(stats, "queue_bound", 0)),
+                static_cast<size_t>(NumberField(stats, "in_flight", 0)),
+                static_cast<size_t>(
+                    stats.Find("cache") != nullptr
+                        ? NumberField(*stats.Find("cache"), "entries", 0)
+                        : 0),
+                static_cast<size_t>(
+                    stats.Find("cache") != nullptr
+                        ? NumberField(*stats.Find("cache"), "capacity", 0)
+                        : 0),
+                (draining != nullptr && draining->IsBool() &&
+                 draining->boolean)
+                    ? "  DRAINING"
+                    : "");
+    const obs::JsonValue* windows = stats.Find("windows");
+    if (windows == nullptr || !windows->IsObject()) {
+      std::printf("  (no windows: server running without telemetry)\n");
+    } else {
+      for (const auto& [label, window] : windows->object) {
+        if (!window.IsObject()) continue;
+        std::printf(
+            "  %-4s qps %8.3f  shed %5.1f%%  cache-hit %5.1f%%  "
+            "p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+            label.c_str(), NumberField(window, "qps", 0.0),
+            NumberField(window, "shed_rate", 0.0) * 100.0,
+            NumberField(window, "cache_hit_rate", 0.0) * 100.0,
+            NumberField(window, "p50_ns", 0.0) / 1e6,
+            NumberField(window, "p95_ns", 0.0) / 1e6,
+            NumberField(window, "p99_ns", 0.0) / 1e6);
+      }
+    }
+    std::fflush(stdout);
+  }
+  return kExitOk;
+}
+
+/// `tail`: print the last N lines of a request journal, optionally
+/// following appends. The follow loop re-reads from a byte offset and
+/// only emits complete (newline-terminated) lines, so a record being
+/// written mid-poll is never shown torn; a file that shrank (rotation)
+/// resets the offset and replays from the new head.
+int CmdTail(const Args& args) {
+  const std::string path = args.Get("file");
+  if (path.empty()) {
+    std::fprintf(stderr, "--file <journal> is required\n");
+    return kExitUsage;
+  }
+  const size_t want = static_cast<size_t>(
+      std::strtoull(args.Get("lines", "10").c_str(), nullptr, 10));
+
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return kExitIo;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  std::vector<std::string> lines;
+  size_t offset = 0;
+  while (offset < text.size()) {
+    const size_t newline = text.find('\n', offset);
+    if (newline == std::string::npos) break;  // Incomplete final record.
+    lines.push_back(text.substr(offset, newline - offset));
+    offset = newline + 1;
+  }
+  for (size_t i = lines.size() > want ? lines.size() - want : 0;
+       i < lines.size(); ++i) {
+    std::printf("%s\n", lines[i].c_str());
+  }
+  std::fflush(stdout);
+  if (!args.Has("follow")) return kExitOk;
+
+  const uint64_t for_ms = static_cast<uint64_t>(
+      std::strtoull(args.Get("for-ms", "0").c_str(), nullptr, 10));
+  uint64_t waited_ms = 0;
+  while (for_ms == 0 || waited_ms < for_ms) {
+    SleepMs(200);
+    waited_ms += 200;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;  // Brief absence during rotation: retry.
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string current = buffer.str();
+    if (current.size() < offset) offset = 0;  // Rotated under us.
+    size_t position = offset;
+    while (position < current.size()) {
+      const size_t newline = current.find('\n', position);
+      if (newline == std::string::npos) break;
+      std::printf("%.*s\n", static_cast<int>(newline - position),
+                  current.c_str() + position);
+      position = newline + 1;
+    }
+    if (position != offset) std::fflush(stdout);
+    offset = position;
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int CmdProfile(const Args& args) {
@@ -647,5 +834,7 @@ int main(int argc, char** argv) {
   if (command == "verify") return CmdVerify(args);
   if (command == "validate-report") return CmdValidateReport(args);
   if (command == "query") return CmdQuery(args);
+  if (command == "top") return CmdTop(args);
+  if (command == "tail") return CmdTail(args);
   return Usage();
 }
